@@ -1,0 +1,132 @@
+// Ablation bench for the design choices DESIGN.md calls out:
+//   1. shared-per-walk vs fresh-per-context negative samples,
+//   2. per-walk P reset vs classic persistent-P OS-ELM,
+//   3. Algorithm 1 vs Algorithm 2 (accuracy + host time),
+//   4. on-the-fly vs rejection-sampling walker throughput,
+//   5. float vs Q8.24 fixed-point core numerics.
+
+#include "bench/common.hpp"
+#include "fpga/accelerator.hpp"
+#include "walk/node2vec_walker.hpp"
+
+using namespace seqge;
+using namespace seqge::bench;
+
+int main(int argc, char** argv) {
+  double scale = 0.4;
+  std::int64_t dims = 32, trials = 3;
+  ArgParser args("bench_ablation", "design-choice ablations");
+  args.add_double("scale", &scale, "cora twin scale");
+  args.add_int("dims", &dims, "embedding dimensions");
+  args.add_int("trials", &trials, "evaluation trials");
+  if (!args.parse(argc, argv)) return 1;
+
+  print_header("Ablations",
+               "negative sharing / P reset policy / Alg1 vs Alg2 / walker "
+               "strategy / numerics");
+
+  const LabeledGraph data = load_twin(DatasetId::kCora, scale, 1);
+  const auto t = static_cast<std::size_t>(trials);
+
+  // --- 1 + 2 + 3: accuracy grid over model variants -------------------
+  {
+    Table table({"variant", "micro-F1", "train time (s)"});
+    struct Variant {
+      std::string name;
+      ModelKind kind;
+      NegativeMode mode;
+      bool reset_p;
+    };
+    const Variant variants[] = {
+        {"alg1, fresh negatives, P reset", ModelKind::kOselm,
+         NegativeMode::kPerContext, true},
+        {"alg1, shared negatives, P reset", ModelKind::kOselm,
+         NegativeMode::kPerWalk, true},
+        {"alg1, fresh negatives, persistent P", ModelKind::kOselm,
+         NegativeMode::kPerContext, false},
+        {"alg2, shared negatives, P reset", ModelKind::kOselmDataflow,
+         NegativeMode::kPerWalk, true},
+        {"alg2, shared negatives, persistent P", ModelKind::kOselmDataflow,
+         NegativeMode::kPerWalk, false},
+        {"original SGD (reference)", ModelKind::kOriginalSGD,
+         NegativeMode::kPerContext, true},
+    };
+    for (const Variant& v : variants) {
+      TrainConfig cfg;
+      cfg.dims = static_cast<std::size_t>(dims);
+      cfg.negative_mode = v.mode;
+      cfg.reset_p_per_walk = v.reset_p;
+      Rng rng(cfg.seed);
+      auto model = make_model(v.kind, data.graph.num_nodes(), cfg, rng);
+      WallTimer timer;
+      train_all(*model, data.graph, cfg, rng);
+      const double secs = timer.seconds();
+      const double f1 =
+          mean_micro_f1(model->extract_embedding(), data.labels,
+                        data.num_classes, ClassificationConfig{}, t,
+                        cfg.seed);
+      table.add_row({v.name, Table::fmt(f1), Table::fmt(secs, 2)});
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    std::printf("\n[negatives / P policy / algorithm]\n");
+    table.print();
+  }
+
+  // --- 4: walker strategy throughput ----------------------------------
+  {
+    Node2VecParams params;
+    Rng rng(3);
+    Node2VecWalker<Graph> otf(data.graph, params);
+    RejectionNode2VecWalker rej(data.graph, params);
+    std::vector<NodeId> walk;
+    const int kWalks = 2000;
+    const double otf_ms = time_ms([&] {
+      for (int i = 0; i < kWalks; ++i) {
+        otf.walk_into(rng, static_cast<NodeId>(
+                               rng.bounded(data.graph.num_nodes())),
+                      walk);
+      }
+    });
+    const double rej_ms = time_ms([&] {
+      for (int i = 0; i < kWalks; ++i) {
+        rej.walk_into(rng, static_cast<NodeId>(
+                               rng.bounded(data.graph.num_nodes())),
+                      walk);
+      }
+    });
+    Table table({"walker", "ms / 2000 walks", "relative"});
+    table.add_row({"on-the-fly (two-pass linear)", Table::fmt(otf_ms, 1),
+                   "1.00"});
+    table.add_row({"rejection (alias proposal)", Table::fmt(rej_ms, 1),
+                   Table::fmt(rej_ms / otf_ms, 2)});
+    std::printf("[walker strategy]\n");
+    table.print();
+  }
+
+  // --- 5: float dataflow vs fixed-point FPGA core ----------------------
+  {
+    TrainConfig cfg;
+    cfg.dims = static_cast<std::size_t>(dims);
+    const double f_float =
+        train_all_f1(ModelKind::kOselmDataflow, data, cfg, t);
+
+    Rng rng(cfg.seed);
+    fpga::AcceleratorConfig acfg =
+        fpga::AcceleratorConfig::for_dims(cfg.dims);
+    acfg.mu = cfg.mu;
+    acfg.p0 = cfg.p0;
+    fpga::Accelerator accel(data.graph.num_nodes(), acfg, rng);
+    train_all(accel, data.graph, cfg, rng);
+    const double f_fixed =
+        mean_micro_f1(accel.extract_embedding(), data.labels,
+                      data.num_classes, ClassificationConfig{}, t,
+                      cfg.seed);
+    Table table({"numerics", "micro-F1"});
+    table.add_row({"float32 (Algorithm 2)", Table::fmt(f_float)});
+    table.add_row({"Q8.24 fixed point (HLS core)", Table::fmt(f_fixed)});
+    std::printf("[numerics]\n");
+    table.print();
+  }
+  return 0;
+}

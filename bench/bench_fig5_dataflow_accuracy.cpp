@@ -1,0 +1,77 @@
+// Regenerates Figure 5: impact of the dataflow optimization on accuracy.
+// Compares the proposed algorithm (Algorithm 1, float, per-context
+// updates) on CPU against the modified algorithm (Algorithm 2, deferred
+// updates) on the simulated FPGA (bit-accurate Q8.24 core), per dataset.
+// Paper result: up to 1.09% micro-F1 loss on Cora, none on the larger
+// Amazon graphs.
+
+#include "bench/common.hpp"
+#include "fpga/accelerator.hpp"
+
+using namespace seqge;
+using namespace seqge::bench;
+
+namespace {
+
+double fpga_f1(const LabeledGraph& data, const TrainConfig& cfg,
+               std::size_t trials) {
+  Rng rng(cfg.seed);
+  fpga::AcceleratorConfig acfg = fpga::AcceleratorConfig::for_dims(cfg.dims);
+  acfg.walk_length = cfg.walk.walk_length;
+  acfg.window = cfg.walk.window;
+  acfg.negative_samples = cfg.negative_samples;
+  acfg.mu = cfg.mu;
+  acfg.p0 = cfg.p0;
+  fpga::Accelerator accel(data.graph.num_nodes(), acfg, rng);
+  train_all(accel, data.graph, cfg, rng);
+  return mean_micro_f1(accel.extract_embedding(), data.labels,
+                       data.num_classes, ClassificationConfig{}, trials,
+                       cfg.seed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double cora_scale = 0.5, ampt_scale = 0.08, amcp_scale = 0.05;
+  std::int64_t dims = 32, trials = 3;
+  bool full = false;
+  ArgParser args("bench_fig5_dataflow_accuracy",
+                 "Figure 5 — dataflow optimization accuracy impact");
+  args.add_double("cora-scale", &cora_scale, "cora twin scale");
+  args.add_double("ampt-scale", &ampt_scale, "amazon-photo twin scale");
+  args.add_double("amcp-scale", &amcp_scale, "amazon-computers twin scale");
+  args.add_int("dims", &dims, "embedding dimensions");
+  args.add_int("trials", &trials, "evaluation trials to average");
+  args.add_flag("full", &full, "paper-scale datasets (slow)");
+  if (!args.parse(argc, argv)) return 1;
+  if (full) cora_scale = ampt_scale = amcp_scale = 1.0;
+
+  print_header("Figure 5",
+               "Algorithm 1 (CPU, float) vs Algorithm 2 (FPGA, Q8.24) "
+               "micro-F1 in the 'all' scenario");
+
+  TrainConfig cfg;
+  cfg.dims = static_cast<std::size_t>(dims);
+
+  const std::pair<DatasetId, double> runs[] = {
+      {DatasetId::kCora, cora_scale},
+      {DatasetId::kAmazonPhoto, ampt_scale},
+      {DatasetId::kAmazonComputers, amcp_scale},
+  };
+
+  Table table({"dataset", "Alg1 on CPU (F1)", "Alg2 on FPGA (F1)",
+               "delta (pp)"});
+  for (const auto& [id, scale] : runs) {
+    const LabeledGraph data = load_twin(id, scale, 1);
+    const double cpu = train_all_f1(ModelKind::kOselm, data, cfg,
+                                    static_cast<std::size_t>(trials));
+    const double fpga = fpga_f1(data, cfg, static_cast<std::size_t>(trials));
+    table.add_row({data.name, Table::fmt(cpu), Table::fmt(fpga),
+                   Table::fmt((cpu - fpga) * 100.0, 2)});
+  }
+  table.print();
+  std::printf(
+      "\npaper: accuracy decreases by up to 1.09%% on cora; no degradation "
+      "on the larger graphs.\n");
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Google-benchmark microbenchmarks of the kernels behind Tables 3/4:
+// alias-table sampling, node2vec walk steps (on-the-fly vs rejection),
+// per-context training updates of all three models, the fixed-point
+// core, and the dense matvec. These numbers feed the op-count audit in
+// EXPERIMENTS.md.
+
+#include <benchmark/benchmark.h>
+
+#include "embedding/oselm_dataflow.hpp"
+#include "embedding/oselm_skipgram.hpp"
+#include "embedding/skipgram_sgd.hpp"
+#include "fixed/fixed_point.hpp"
+#include "fpga/hls_core.hpp"
+#include "graph/datasets.hpp"
+#include "linalg/kernels.hpp"
+#include "sampling/alias_table.hpp"
+#include "sampling/negative_sampler.hpp"
+#include "walk/node2vec_walker.hpp"
+
+namespace {
+
+using namespace seqge;
+
+const LabeledGraph& bench_graph() {
+  static const LabeledGraph g = make_dataset(DatasetId::kCora, 1, 0.25);
+  return g;
+}
+
+void BM_AliasSample(benchmark::State& state) {
+  std::vector<double> w(static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  for (auto& x : w) x = rng.uniform(0.1, 10.0);
+  AliasTable table(w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSample)->Arg(1000)->Arg(100000);
+
+void BM_AliasBuild(benchmark::State& state) {
+  std::vector<double> w(static_cast<std::size_t>(state.range(0)));
+  Rng rng(2);
+  for (auto& x : w) x = rng.uniform(0.1, 10.0);
+  for (auto _ : state) {
+    AliasTable table(w);
+    benchmark::DoNotOptimize(table.size());
+  }
+}
+BENCHMARK(BM_AliasBuild)->Arg(1000)->Arg(100000);
+
+void BM_WalkOnTheFly(benchmark::State& state) {
+  const Graph& g = bench_graph().graph;
+  Node2VecParams params;
+  Node2VecWalker<Graph> walker(g, params);
+  Rng rng(3);
+  std::vector<NodeId> walk;
+  for (auto _ : state) {
+    walker.walk_into(rng, static_cast<NodeId>(rng.bounded(g.num_nodes())),
+                     walk);
+    benchmark::DoNotOptimize(walk.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(params.walk_length));
+}
+BENCHMARK(BM_WalkOnTheFly);
+
+void BM_WalkRejection(benchmark::State& state) {
+  const Graph& g = bench_graph().graph;
+  Node2VecParams params;
+  RejectionNode2VecWalker walker(g, params);
+  Rng rng(4);
+  std::vector<NodeId> walk;
+  for (auto _ : state) {
+    walker.walk_into(rng, static_cast<NodeId>(rng.bounded(g.num_nodes())),
+                     walk);
+    benchmark::DoNotOptimize(walk.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(params.walk_length));
+}
+BENCHMARK(BM_WalkRejection);
+
+void BM_TrainWalkSgns(benchmark::State& state) {
+  const auto dims = static_cast<std::size_t>(state.range(0));
+  const Graph& g = bench_graph().graph;
+  Rng rng(5);
+  SkipGramSGD model(g.num_nodes(), dims, rng);
+  Node2VecWalker<Graph> walker(g, Node2VecParams{});
+  const auto walk = walker.walk(rng, 0);
+  const auto sampler = NegativeSampler::from_degrees(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.train_walk(
+        walk, 8, sampler, 10, NegativeMode::kPerContext, rng, 0.01));
+  }
+}
+BENCHMARK(BM_TrainWalkSgns)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_TrainWalkOselm(benchmark::State& state) {
+  const auto dims = static_cast<std::size_t>(state.range(0));
+  const Graph& g = bench_graph().graph;
+  Rng rng(6);
+  OselmSkipGram::Options opts;
+  opts.dims = dims;
+  OselmSkipGram model(g.num_nodes(), opts, rng);
+  Node2VecWalker<Graph> walker(g, Node2VecParams{});
+  const auto walk = walker.walk(rng, 0);
+  const auto sampler = NegativeSampler::from_degrees(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.train_walk(
+        walk, 8, sampler, 10, NegativeMode::kPerContext, rng));
+  }
+}
+BENCHMARK(BM_TrainWalkOselm)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_TrainWalkDataflow(benchmark::State& state) {
+  const auto dims = static_cast<std::size_t>(state.range(0));
+  const Graph& g = bench_graph().graph;
+  Rng rng(7);
+  OselmSkipGramDataflow::Options opts;
+  opts.dims = dims;
+  OselmSkipGramDataflow model(g.num_nodes(), opts, rng);
+  Node2VecWalker<Graph> walker(g, Node2VecParams{});
+  const auto walk = walker.walk(rng, 0);
+  const auto sampler = NegativeSampler::from_degrees(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.train_walk(walk, 8, sampler, 10, rng));
+  }
+}
+BENCHMARK(BM_TrainWalkDataflow)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_HlsCoreWalk(benchmark::State& state) {
+  const auto dims = static_cast<std::size_t>(state.range(0));
+  fpga::AcceleratorConfig cfg = fpga::AcceleratorConfig::for_dims(dims);
+  fpga::HlsCore core(cfg);
+  Rng rng(8);
+  std::vector<std::uint32_t> walk(cfg.walk_length);
+  for (auto& v : walk) {
+    v = static_cast<std::uint32_t>(rng.bounded(cfg.walk_length));
+  }
+  std::vector<std::uint32_t> negs(cfg.negative_samples);
+  for (std::size_t i = 0; i < negs.size(); ++i) {
+    negs[i] = static_cast<std::uint32_t>(cfg.walk_length + i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core.run_walk(walk, negs));
+  }
+}
+BENCHMARK(BM_HlsCoreWalk)->Arg(32)->Arg(64);
+
+void BM_FixedMultiply(benchmark::State& state) {
+  using F = fixed::CoreFixed;
+  F a = F::from_double(1.2345), b = F::from_double(-0.5678);
+  for (auto _ : state) {
+    a = a * b + F::from_double(1.0);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FixedMultiply);
+
+void BM_Matvec(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  MatrixF m(n, n);
+  m.fill_uniform(rng, -1.0, 1.0);
+  std::vector<float> v(n, 1.0f), out(n);
+  for (auto _ : state) {
+    matvec(m, std::span<const float>(v), std::span<float>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_Matvec)->Arg(32)->Arg(96);
+
+}  // namespace
+
+BENCHMARK_MAIN();

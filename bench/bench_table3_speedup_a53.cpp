@@ -1,0 +1,10 @@
+// Regenerates Table 3: training time of a single random walk vs the ARM
+// Cortex-A53 CPU of the ZCU104 PS, and speedups of the FPGA accelerator.
+
+#include "bench/speedup_bench.hpp"
+
+int main(int argc, char** argv) {
+  return seqge::bench::run_speedup_bench(
+      "Table 3", seqge::perfmodel::a53_original_model(),
+      seqge::perfmodel::a53_proposed_model(), argc, argv);
+}

@@ -1,0 +1,10 @@
+// Regenerates Table 4: training time of a single random walk vs a
+// desktop Intel Core i7-11700, and speedups of the FPGA accelerator.
+
+#include "bench/speedup_bench.hpp"
+
+int main(int argc, char** argv) {
+  return seqge::bench::run_speedup_bench(
+      "Table 4", seqge::perfmodel::i7_original_model(),
+      seqge::perfmodel::i7_proposed_model(), argc, argv);
+}

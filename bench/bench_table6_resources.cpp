@@ -1,0 +1,57 @@
+// Regenerates Table 6: FPGA resource utilization on the XCZU7EV
+// (ZCU104). The three paper design points come from the calibrated
+// resource model (post-route numbers need the vendor toolchain); the
+// structural estimator's numbers are printed alongside, and additional
+// what-if configurations demonstrate extrapolation.
+
+#include "bench/common.hpp"
+#include "fpga/resource_model.hpp"
+
+using namespace seqge;
+using namespace seqge::bench;
+using seqge::fpga::AcceleratorConfig;
+using seqge::fpga::ResourceModel;
+using seqge::fpga::ResourceUsage;
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_table6_resources",
+                 "Table 6 — resource utilization on XCZU7EV");
+  if (!args.parse(argc, argv)) return 1;
+
+  print_header("Table 6", "FPGA resource utilization (XCZU7EV, 200 MHz)");
+
+  const ResourceModel rm;
+  const auto& dev = rm.device();
+  std::printf("device %s: %zu BRAM36, %zu DSP, %zu FF, %zu LUT\n\n",
+              dev.name.c_str(), dev.bram36, dev.dsp, dev.ff, dev.lut);
+
+  Table table({"dims", "par", "source", "BRAM", "BRAM%", "DSP", "DSP%",
+               "FF", "FF%", "LUT", "LUT%", "fits"});
+  auto add_row = [&](std::size_t dims, std::size_t par,
+                     const std::string& source, const ResourceUsage& u) {
+    table.add_row({std::to_string(dims), std::to_string(par), source,
+                   std::to_string(u.bram36), Table::fmt(u.bram_pct(dev), 2),
+                   std::to_string(u.dsp), Table::fmt(u.dsp_pct(dev), 2),
+                   std::to_string(u.ff), Table::fmt(u.ff_pct(dev), 2),
+                   std::to_string(u.lut), Table::fmt(u.lut_pct(dev), 2),
+                   u.fits(dev) ? "yes" : "NO"});
+  };
+
+  for (std::size_t dims : {32u, 64u, 96u}) {
+    const AcceleratorConfig cfg = AcceleratorConfig::for_dims(dims);
+    add_row(dims, cfg.parallelism, "calibrated (Table 6)",
+            rm.estimate(cfg));
+    add_row(dims, cfg.parallelism, "structural", rm.structural_estimate(cfg));
+  }
+
+  // What-if configurations beyond the paper.
+  for (auto [dims, par] : {std::pair<std::size_t, std::size_t>{128, 64},
+                           {16, 16}, {32, 64}}) {
+    AcceleratorConfig cfg;
+    cfg.dims = dims;
+    cfg.parallelism = par;
+    add_row(dims, par, "structural (what-if)", rm.structural_estimate(cfg));
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,87 @@
+#pragma once
+// Shared helpers for the per-table/per-figure benchmark binaries. Every
+// bench prints (a) the paper artifact it regenerates, (b) the effective
+// workload (datasets are DC-SBM twins, scaled down by default so the
+// whole suite finishes on a small CI box — pass --full for paper-scale),
+// and (c) a table whose rows mirror the paper's.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "embedding/config.hpp"
+#include "embedding/model.hpp"
+#include "embedding/trainer.hpp"
+#include "eval/node_classification.hpp"
+#include "graph/datasets.hpp"
+#include "graph/stats.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace seqge::bench {
+
+inline void print_header(const std::string& artifact,
+                         const std::string& description) {
+  std::printf("==================================================\n");
+  std::printf("seqge bench — %s\n", artifact.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("hyper-parameters (Table 2): p=0.5 q=1.0 r=10 l=80 w=8 ns=10\n");
+  std::printf("==================================================\n");
+}
+
+/// Scaled dataset with a banner line describing the twin actually used.
+inline LabeledGraph load_twin(DatasetId id, double scale,
+                              std::uint64_t seed) {
+  LabeledGraph data = make_dataset(id, seed, scale);
+  const GraphStats stats = compute_stats(data);
+  std::printf(
+      "dataset %-5s (scale %.3f): %zu nodes, %zu edges, %zu classes, "
+      "homophily %.2f\n",
+      data.name.c_str(), scale, stats.num_nodes, stats.num_edges,
+      data.num_classes, stats.label_homophily);
+  return data;
+}
+
+/// Train `kind` on the graph in the "all" scenario and return the mean
+/// micro-F1 over `trials` evaluation trials.
+inline double train_all_f1(ModelKind kind, const LabeledGraph& data,
+                           const TrainConfig& cfg, std::size_t trials) {
+  Rng rng(cfg.seed);
+  auto model = make_model(kind, data.graph.num_nodes(), cfg, rng);
+  train_all(*model, data.graph, cfg, rng);
+  return mean_micro_f1(model->extract_embedding(), data.labels,
+                       data.num_classes, ClassificationConfig{}, trials,
+                       cfg.seed);
+}
+
+/// Train `kind` in the "seq" scenario (forest + edge stream).
+inline double train_seq_f1(ModelKind kind, const LabeledGraph& data,
+                           const TrainConfig& cfg, std::size_t trials) {
+  Rng rng(cfg.seed);
+  SequentialConfig scfg;
+  scfg.train = cfg;
+  auto model = make_model(kind, data.graph.num_nodes(), cfg, rng);
+  train_sequential(*model, data.graph, scfg, rng);
+  return mean_micro_f1(model->extract_embedding(), data.labels,
+                       data.num_classes, ClassificationConfig{}, trials,
+                       cfg.seed);
+}
+
+/// Median wall-clock milliseconds of `fn()` over `reps` runs after one
+/// warmup.
+template <typename Fn>
+double time_ms(Fn&& fn, int reps = 5) {
+  fn();  // warmup
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    WallTimer t;
+    fn();
+    times.push_back(t.millis());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace seqge::bench

@@ -1,0 +1,137 @@
+#pragma once
+// Shared implementation of the Tables 3/4 speedup benches. Per embedding
+// dimension it measures, on this host, the time to train one full random
+// walk (73 contexts) with the original SGD skip-gram and with the
+// proposed OS-ELM model (Algorithm 1), obtains the FPGA latency from the
+// calibrated cycle/DMA model, and prints speedups alongside the paper's
+// reference CPU rows (quadratic models anchored on the paper's measured
+// points, since neither a Cortex-A53 nor an i7-11700 is available here).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "embedding/oselm_skipgram.hpp"
+#include "embedding/skipgram_sgd.hpp"
+#include "fpga/perf_model.hpp"
+#include "perfmodel/cpu_model.hpp"
+#include "sampling/negative_sampler.hpp"
+#include "walk/corpus.hpp"
+#include "walk/node2vec_walker.hpp"
+
+namespace seqge::bench {
+
+struct SpeedupRow {
+  std::size_t dims;
+  double orig_host_ms;
+  double prop_host_ms;
+  double fpga_ms;
+  double orig_ref_ms;  // paper-anchored CPU model
+  double prop_ref_ms;
+};
+
+inline int run_speedup_bench(const std::string& artifact,
+                             const perfmodel::CpuLatencyModel& ref_orig,
+                             const perfmodel::CpuLatencyModel& ref_prop,
+                             int argc, char** argv) {
+  double scale = 1.0;
+  std::int64_t reps = 9;
+  ArgParser args("bench_speedup",
+                 artifact + " — training time of a single random walk");
+  args.add_double("scale", &scale, "dataset scale for the weight tables");
+  args.add_int("reps", &reps, "timing repetitions (median reported)");
+  if (!args.parse(argc, argv)) return 1;
+
+  print_header(artifact,
+               "Training time of one random walk (l=80 -> 73 contexts); "
+               "host-measured CPU rows + calibrated FPGA model + "
+               "paper-anchored " + ref_orig.platform + " reference");
+
+  const LabeledGraph data = load_twin(DatasetId::kCora, scale, 1);
+  const std::size_t n = data.graph.num_nodes();
+
+  // One fixed full-length walk + negative sampler over degrees.
+  Node2VecParams wp;
+  Rng rng(7);
+  Node2VecWalker<Graph> walker(data.graph, wp);
+  NodeId start = 0;
+  while (data.graph.degree(start) == 0) ++start;
+  const std::vector<NodeId> walk = walker.walk(rng, start);
+  const NegativeSampler sampler = NegativeSampler::from_degrees(data.graph);
+
+  std::vector<SpeedupRow> rows;
+  for (std::size_t dims : {32u, 64u, 96u}) {
+    SpeedupRow row{};
+    row.dims = dims;
+
+    {
+      Rng mrng(11);
+      SkipGramSGD orig(n, dims, mrng);
+      row.orig_host_ms = time_ms(
+          [&] {
+            Rng step(13);
+            orig.train_walk(walk, wp.window, sampler, 10,
+                            NegativeMode::kPerContext, step, 0.01);
+          },
+          static_cast<int>(reps));
+    }
+    {
+      Rng mrng(17);
+      OselmSkipGram::Options opts;
+      opts.dims = dims;
+      OselmSkipGram prop(n, opts, mrng);
+      row.prop_host_ms = time_ms(
+          [&] {
+            Rng step(13);
+            prop.train_walk(walk, wp.window, sampler, 10,
+                            NegativeMode::kPerContext, step);
+          },
+          static_cast<int>(reps));
+    }
+
+    const fpga::PerfModel pm(fpga::AcceleratorConfig::for_dims(dims));
+    row.fpga_ms = pm.walk_timing().total_us / 1000.0;
+    row.orig_ref_ms = ref_orig.predict_ms(dims);
+    row.prop_ref_ms = ref_prop.predict_ms(dims);
+    rows.push_back(row);
+  }
+
+  Table table({"metric", "32", "64", "96"});
+  auto add = [&](const std::string& name, auto getter, int precision) {
+    std::vector<std::string> r = {name};
+    for (const SpeedupRow& row : rows) {
+      r.push_back(Table::fmt(getter(row), precision));
+    }
+    table.add_row(std::move(r));
+  };
+  add("Original model on this host (ms)",
+      [](const SpeedupRow& r) { return r.orig_host_ms; }, 3);
+  add("Proposed model on this host (ms)",
+      [](const SpeedupRow& r) { return r.prop_host_ms; }, 3);
+  add("Original model on " + ref_orig.platform + " (ms, model)",
+      [](const SpeedupRow& r) { return r.orig_ref_ms; }, 3);
+  add("Proposed model on " + ref_prop.platform + " (ms, model)",
+      [](const SpeedupRow& r) { return r.prop_ref_ms; }, 3);
+  add("Proposed model on FPGA (ms, model)",
+      [](const SpeedupRow& r) { return r.fpga_ms; }, 3);
+  add("Speedup vs original (" + ref_orig.platform + ")",
+      [](const SpeedupRow& r) { return r.orig_ref_ms / r.fpga_ms; }, 3);
+  add("Speedup vs proposed (" + ref_prop.platform + ")",
+      [](const SpeedupRow& r) { return r.prop_ref_ms / r.fpga_ms; }, 3);
+  add("Speedup vs original (this host)",
+      [](const SpeedupRow& r) { return r.orig_host_ms / r.fpga_ms; }, 3);
+  add("Proposed-vs-original on this host (x)",
+      [](const SpeedupRow& r) { return r.orig_host_ms / r.prop_host_ms; },
+      2);
+  table.print();
+
+  std::printf(
+      "\nnote: %s rows interpolate the paper's measured anchors exactly; "
+      "host rows are measured on this machine (different CPU, so absolute "
+      "values differ while the ordering and growth with dims should "
+      "match).\n",
+      ref_orig.platform.c_str());
+  return 0;
+}
+
+}  // namespace seqge::bench

@@ -1,0 +1,63 @@
+// Scratch probe: "all" vs "seq" accuracy for original-SGD vs OS-ELM at
+// moderate scale (Fig. 6 shape exploration).
+#include <cstdio>
+
+#include "embedding/model.hpp"
+#include "embedding/trainer.hpp"
+#include "eval/node_classification.hpp"
+#include "graph/datasets.hpp"
+#include "util/cli.hpp"
+
+using namespace seqge;
+
+int main(int argc, char** argv) {
+  double scale = 0.5;
+  std::string dataset = "cora";
+  std::int64_t dims = 32, r = 10;
+  double p0 = 10.0, mu = 0.01;
+  ArgParser args("probe");
+  args.add_double("scale", &scale, "dataset scale");
+  args.add_string("dataset", &dataset, "cora|ampt|amcp");
+  args.add_int("dims", &dims, "dims");
+  args.add_int("r", &r, "walks per node");
+  args.add_double("p0", &p0, "P init");
+  args.add_double("mu", &mu, "mu");
+  if (!args.parse(argc, argv)) return 1;
+
+  const LabeledGraph data =
+      make_dataset(dataset_from_name(dataset), 1, scale);
+  std::printf("twin: %zu nodes %zu edges (scale %.2f)\n",
+              data.graph.num_nodes(), data.graph.num_edges(), scale);
+
+  TrainConfig cfg;
+  cfg.dims = static_cast<std::size_t>(dims);
+  cfg.walks_per_node = static_cast<std::size_t>(r);
+  cfg.mu = mu;
+  cfg.p0 = p0;
+
+  auto score = [&](EmbeddingModel& m) {
+    return mean_micro_f1(m.extract_embedding(), data.labels,
+                         data.num_classes, ClassificationConfig{}, 3, 1);
+  };
+
+  for (ModelKind kind : {ModelKind::kOriginalSGD, ModelKind::kOselm,
+                         ModelKind::kOselmDataflow}) {
+    {
+      Rng rng(cfg.seed);
+      auto m = make_model(kind, data.graph.num_nodes(), cfg, rng);
+      train_all(*m, data.graph, cfg, rng);
+      std::printf("%-14s all  F1=%.3f\n", m->name().c_str(), score(*m));
+      std::fflush(stdout);
+    }
+    {
+      Rng rng(cfg.seed);
+      SequentialConfig scfg;
+      scfg.train = cfg;
+      auto m = make_model(kind, data.graph.num_nodes(), cfg, rng);
+      train_sequential(*m, data.graph, scfg, rng);
+      std::printf("%-14s seq  F1=%.3f\n", m->name().c_str(), score(*m));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+#pragma once
+// Binary checkpointing for trained models. The IoT deployment story of
+// the paper (Sec. 1) implies devices that power-cycle: the embedding
+// state (beta, and P for the persistent-P variant) must survive
+// restarts so sequential training can resume where it left off. Format:
+//
+//   magic "SEQGE1\n" | dims u64 | rows u64 | payload-kind u8
+//   beta (rows x dims f32) [ | P (dims x dims f32) ]
+//
+// Checkpoints are portable across the CPU models; the FPGA accelerator
+// loads/stores through its float conversion (quantizing to Q8.24 on
+// load).
+
+#include <iosfwd>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace seqge {
+
+class OselmSkipGram;
+class OselmSkipGramDataflow;
+class SkipGramSGD;
+
+struct CheckpointHeader {
+  std::size_t dims = 0;
+  std::size_t rows = 0;
+  bool has_covariance = false;
+};
+
+// --- generic matrix payloads -------------------------------------------
+void write_checkpoint(std::ostream& os, const MatrixF& beta,
+                      const MatrixF* covariance);
+[[nodiscard]] CheckpointHeader read_checkpoint_header(std::istream& is);
+/// Reads the payload that follows a read_checkpoint_header call.
+void read_checkpoint_payload(std::istream& is, const CheckpointHeader& h,
+                             MatrixF& beta, MatrixF* covariance);
+
+// --- model-level convenience --------------------------------------------
+void save_model(std::ostream& os, const OselmSkipGram& model);
+void save_model(std::ostream& os, const OselmSkipGramDataflow& model);
+void save_model(std::ostream& os, const SkipGramSGD& model);
+
+void load_model(std::istream& is, OselmSkipGram& model);
+void load_model(std::istream& is, OselmSkipGramDataflow& model);
+
+void save_model(const std::string& path, const OselmSkipGram& model);
+void load_model(const std::string& path, OselmSkipGram& model);
+
+}  // namespace seqge

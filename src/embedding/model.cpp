@@ -1,0 +1,122 @@
+#include "embedding/model.hpp"
+
+#include <stdexcept>
+
+#include "embedding/oselm_dataflow.hpp"
+#include "embedding/oselm_skipgram.hpp"
+#include "embedding/skipgram_sgd.hpp"
+
+namespace seqge {
+
+namespace {
+
+class SgdAdapter final : public EmbeddingModel {
+ public:
+  SgdAdapter(std::size_t num_nodes, const TrainConfig& cfg, Rng& rng)
+      : model_(num_nodes, cfg.dims, rng), lr_(cfg.learning_rate) {}
+
+  double train_walk(std::span<const NodeId> walk, std::size_t window,
+                    const NegativeSampler& sampler, std::size_t ns,
+                    NegativeMode mode, Rng& rng) override {
+    return model_.train_walk(walk, window, sampler, ns, mode, rng, lr_);
+  }
+  [[nodiscard]] MatrixF extract_embedding() const override {
+    return model_.embeddings();
+  }
+  [[nodiscard]] std::size_t dims() const override { return model_.dims(); }
+  [[nodiscard]] std::size_t num_nodes() const override {
+    return model_.num_nodes();
+  }
+  [[nodiscard]] std::size_t model_bytes() const override {
+    return model_.model_bytes();
+  }
+  [[nodiscard]] std::string name() const override { return "original-sgd"; }
+
+ private:
+  SkipGramSGD model_;
+  double lr_;
+};
+
+class OselmAdapter final : public EmbeddingModel {
+ public:
+  OselmAdapter(std::size_t num_nodes, const TrainConfig& cfg, Rng& rng)
+      : model_(num_nodes, OselmSkipGram::Options::from(cfg), rng) {}
+
+  double train_walk(std::span<const NodeId> walk, std::size_t window,
+                    const NegativeSampler& sampler, std::size_t ns,
+                    NegativeMode mode, Rng& rng) override {
+    return model_.train_walk(walk, window, sampler, ns, mode, rng);
+  }
+  [[nodiscard]] MatrixF extract_embedding() const override {
+    return model_.extract_embedding();
+  }
+  [[nodiscard]] std::size_t dims() const override { return model_.dims(); }
+  [[nodiscard]] std::size_t num_nodes() const override {
+    return model_.num_nodes();
+  }
+  [[nodiscard]] std::size_t model_bytes() const override {
+    return model_.model_bytes();
+  }
+  [[nodiscard]] std::string name() const override { return "oselm-alg1"; }
+
+ private:
+  OselmSkipGram model_;
+};
+
+class DataflowAdapter final : public EmbeddingModel {
+ public:
+  DataflowAdapter(std::size_t num_nodes, const TrainConfig& cfg, Rng& rng)
+      : model_(num_nodes, OselmSkipGramDataflow::Options::from(cfg), rng) {}
+
+  double train_walk(std::span<const NodeId> walk, std::size_t window,
+                    const NegativeSampler& sampler, std::size_t ns,
+                    NegativeMode /*mode*/, Rng& rng) override {
+    // The dataflow algorithm always shares negatives per walk (Sec. 3.2).
+    return model_.train_walk(walk, window, sampler, ns, rng);
+  }
+  [[nodiscard]] MatrixF extract_embedding() const override {
+    return model_.extract_embedding();
+  }
+  [[nodiscard]] std::size_t dims() const override { return model_.dims(); }
+  [[nodiscard]] std::size_t num_nodes() const override {
+    return model_.num_nodes();
+  }
+  [[nodiscard]] std::size_t model_bytes() const override {
+    return model_.model_bytes();
+  }
+  [[nodiscard]] std::string name() const override { return "oselm-alg2"; }
+
+ private:
+  OselmSkipGramDataflow model_;
+};
+
+}  // namespace
+
+std::string to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kOriginalSGD:
+      return "original-sgd";
+    case ModelKind::kOselm:
+      return "oselm-alg1";
+    case ModelKind::kOselmDataflow:
+      return "oselm-alg2";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<EmbeddingModel> make_model(ModelKind kind,
+                                           std::size_t num_nodes,
+                                           const TrainConfig& cfg, Rng& rng) {
+  cfg.validate();
+  switch (kind) {
+    case ModelKind::kOriginalSGD:
+      return std::make_unique<SgdAdapter>(num_nodes, cfg, rng);
+    case ModelKind::kOselm:
+      return std::make_unique<OselmAdapter>(num_nodes, cfg, rng);
+    case ModelKind::kOselmDataflow:
+      return std::make_unique<DataflowAdapter>(num_nodes, cfg, rng);
+  }
+  throw std::invalid_argument("make_model: unknown kind");
+}
+
+}  // namespace seqge

@@ -1,0 +1,54 @@
+#pragma once
+// Unified training-model interface. The two trainers (batch "all" and
+// dynamic "seq", trainer.hpp) drive any model through this interface, so
+// the original SGD skip-gram, the two OS-ELM variants, and the FPGA
+// accelerator (src/fpga/accelerator.hpp) are interchangeable in every
+// experiment harness.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "embedding/config.hpp"
+#include "graph/graph.hpp"
+#include "linalg/matrix.hpp"
+#include "sampling/negative_sampler.hpp"
+#include "util/rng.hpp"
+
+namespace seqge {
+
+class EmbeddingModel {
+ public:
+  virtual ~EmbeddingModel() = default;
+
+  /// Train on every context of one random walk. Returns a model-specific
+  /// loss value (logistic loss for SGD, squared error for OS-ELM) for
+  /// monitoring only.
+  virtual double train_walk(std::span<const NodeId> walk, std::size_t window,
+                            const NegativeSampler& sampler, std::size_t ns,
+                            NegativeMode mode, Rng& rng) = 0;
+
+  /// The learned graph embedding, one row per node.
+  [[nodiscard]] virtual MatrixF extract_embedding() const = 0;
+
+  [[nodiscard]] virtual std::size_t dims() const = 0;
+  [[nodiscard]] virtual std::size_t num_nodes() const = 0;
+  [[nodiscard]] virtual std::size_t model_bytes() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+enum class ModelKind {
+  kOriginalSGD,    ///< skip-gram + negative sampling + SGD (baseline)
+  kOselm,          ///< proposed model, Algorithm 1
+  kOselmDataflow,  ///< proposed model, Algorithm 2 (FPGA algorithm)
+};
+
+[[nodiscard]] std::string to_string(ModelKind kind);
+
+/// Create one of the CPU models. (The FPGA accelerator implements
+/// EmbeddingModel too but is constructed through src/fpga.)
+[[nodiscard]] std::unique_ptr<EmbeddingModel> make_model(
+    ModelKind kind, std::size_t num_nodes, const TrainConfig& cfg, Rng& rng);
+
+}  // namespace seqge

@@ -1,0 +1,97 @@
+#include "embedding/oselm_dataflow.hpp"
+
+#include "linalg/kernels.hpp"
+
+namespace seqge {
+
+OselmSkipGramDataflow::OselmSkipGramDataflow(std::size_t num_nodes,
+                                             const Options& opts, Rng& rng)
+    : opts_(opts),
+      beta_t_(num_nodes, opts.dims),
+      p_(opts.dims, opts.dims),
+      delta_p_(opts.dims, opts.dims),
+      delta_beta_(num_nodes, opts.dims),
+      h_(opts.dims),
+      ph_(opts.dims),
+      hp_(opts.dims),
+      piht_(opts.dims) {
+  const double r = 0.5 / static_cast<double>(opts.dims);
+  beta_t_.fill_uniform(rng, -r, r);
+  p_.set_identity(static_cast<float>(opts.p0));
+}
+
+double OselmSkipGramDataflow::train_walk(
+    std::span<const NodeId> walk, std::size_t window,
+    std::span<const NodeId> shared_negatives) {
+  double sq_err = 0.0;
+  const auto mu = static_cast<float>(opts_.mu);
+
+  if (opts_.reset_p_per_walk) {
+    p_.set_identity(static_cast<float>(opts_.p0));
+  }
+  delta_p_.fill(0.0f);
+
+  for_each_context(walk, window, [&](const WalkContext& ctx) {
+    // Stage 1: H from the frozen beta; ph = P H^T, hp = H P.
+    auto bc = beta_t_.row(ctx.center);
+    for (std::size_t d = 0; d < dims(); ++d) h_[d] = mu * bc[d];
+    matvec(p_, std::span<const float>(h_), std::span<float>(ph_));
+    matvec_transposed(p_, std::span<const float>(h_), std::span<float>(hp_));
+
+    // Stage 2: H P H^T.
+    const double hph = dot<float>(h_, ph_);
+    const double k = 1.0 / (1.0 + hph);
+
+    // Stage 4 (P side): delta_P -= (ph hp) k;  P_i H^T = ph * k.
+    rank1_update(delta_p_, static_cast<float>(-k),
+                 std::span<const float>(ph_), std::span<const float>(hp_));
+    for (std::size_t d = 0; d < dims(); ++d) {
+      piht_[d] = static_cast<float>(k) * ph_[d];
+    }
+
+    // Stage 3 + 4 (beta side): errors against the frozen beta, deferred
+    // into delta_beta.
+    auto train_sample = [&](NodeId s, float t) {
+      const double e =
+          static_cast<double>(t) - dot<float>(h_, beta_t_.row(s));
+      sq_err += e * e;
+      axpy<float>(static_cast<float>(e), piht_, delta_beta_.row(s));
+    };
+    for (NodeId pos : ctx.positives) {
+      train_sample(pos, 1.0f);
+      for (NodeId neg : shared_negatives) {
+        if (neg == pos) continue;
+        train_sample(neg, 0.0f);
+      }
+    }
+  });
+
+  // Commit (Algorithm 2 lines 19-20).
+  auto pf = p_.flat();
+  auto df = delta_p_.flat();
+  for (std::size_t i = 0; i < pf.size(); ++i) pf[i] += df[i];
+  delta_beta_.apply_to(beta_t_);
+  return sq_err;
+}
+
+double OselmSkipGramDataflow::train_walk(std::span<const NodeId> walk,
+                                         std::size_t window,
+                                         const NegativeSampler& sampler,
+                                         std::size_t ns, Rng& rng) {
+  sampler.sample_batch(rng, ns, walk.empty() ? 0 : walk[0],
+                       scratch_negatives_);
+  return train_walk(walk, window, scratch_negatives_);
+}
+
+MatrixF OselmSkipGramDataflow::extract_embedding() const {
+  MatrixF emb(num_nodes(), dims());
+  const auto mu = static_cast<float>(opts_.mu);
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    auto src = beta_t_.row(v);
+    auto dst = emb.row(v);
+    for (std::size_t d = 0; d < dims(); ++d) dst[d] = mu * src[d];
+  }
+  return emb;
+}
+
+}  // namespace seqge

@@ -1,0 +1,117 @@
+#include "embedding/oselm_skipgram.hpp"
+
+#include <cmath>
+
+#include "linalg/kernels.hpp"
+
+namespace seqge {
+
+OselmSkipGram::OselmSkipGram(std::size_t num_nodes, const Options& opts,
+                             Rng& rng)
+    : opts_(opts),
+      beta_t_(num_nodes, opts.dims),
+      p_(opts.dims, opts.dims),
+      h_(opts.dims),
+      ph_(opts.dims),
+      hp_(opts.dims),
+      ph2_(opts.dims) {
+  const double r = 0.5 / static_cast<double>(opts.dims);
+  beta_t_.fill_uniform(rng, -r, r);
+  p_.set_identity(static_cast<float>(opts.p0));
+  if (opts_.random_alpha) {
+    alpha_ = MatrixF(num_nodes, opts.dims);
+    // Classic OS-ELM draws alpha from a symmetric distribution; N(0, 1/N)
+    // keeps ||H|| comparable across dims.
+    alpha_.fill_gaussian(rng, 1.0 / std::sqrt(static_cast<double>(opts.dims)));
+  }
+}
+
+void OselmSkipGram::hidden(NodeId center, std::span<float> h) const noexcept {
+  if (opts_.random_alpha) {
+    copy<float>(alpha_.row(center), h);
+  } else {
+    auto b = beta_t_.row(center);
+    const auto mu = static_cast<float>(opts_.mu);
+    for (std::size_t d = 0; d < h.size(); ++d) h[d] = mu * b[d];
+  }
+}
+
+double OselmSkipGram::train_context(const WalkContext& ctx,
+                                    std::span<const NodeId> negatives) {
+  const std::size_t n_dims = dims();
+  hidden(ctx.center, h_);
+
+  // ph = P H^T ; hp = H P. P stays symmetric in exact arithmetic; both
+  // are computed as in Algorithm 1 so float round-off follows the same
+  // path as the hardware.
+  matvec(p_, std::span<const float>(h_), std::span<float>(ph_));
+  matvec_transposed(p_, std::span<const float>(h_), std::span<float>(hp_));
+
+  const double hph = dot<float>(h_, ph_);
+  const double k = 1.0 / (1.0 + hph);
+
+  // P <- P - (ph hp) k
+  rank1_update(p_, static_cast<float>(-k), std::span<const float>(ph_),
+               std::span<const float>(hp_));
+
+  // ph2 = P_i H^T with the updated P (Algorithm 1 line 7).
+  matvec(p_, std::span<const float>(h_), std::span<float>(ph2_));
+
+  double sq_err = 0.0;
+  auto train_sample = [&](NodeId s, float t) {
+    auto col = beta_t_.row(s);
+    const double e = static_cast<double>(t) - dot<float>(h_, col);
+    sq_err += e * e;
+    axpy<float>(static_cast<float>(e), ph2_, col);
+  };
+  for (NodeId pos : ctx.positives) {
+    train_sample(pos, 1.0f);
+    for (NodeId neg : negatives) {
+      if (neg == pos) continue;
+      train_sample(neg, 0.0f);
+    }
+  }
+  (void)n_dims;
+  return sq_err;
+}
+
+double OselmSkipGram::train_walk(std::span<const NodeId> walk,
+                                 std::size_t window,
+                                 const NegativeSampler& sampler,
+                                 std::size_t ns, NegativeMode mode,
+                                 Rng& rng) {
+  double err = 0.0;
+  if (opts_.reset_p_per_walk) {
+    p_.set_identity(static_cast<float>(opts_.p0));
+  }
+  if (mode == NegativeMode::kPerWalk) {
+    sampler.sample_batch(rng, ns, walk.empty() ? 0 : walk[0],
+                         scratch_negatives_);
+    for_each_context(walk, window, [&](const WalkContext& ctx) {
+      err += train_context(ctx, scratch_negatives_);
+    });
+    return err;
+  }
+  for_each_context(walk, window, [&](const WalkContext& ctx) {
+    // Algorithm 1 draws fresh negatives per positive (line 13); using one
+    // draw per context keeps the RLS structure identical while matching
+    // the reference implementation's sampling rate.
+    sampler.sample_batch(rng, ns, ctx.center, scratch_negatives_);
+    err += train_context(ctx, scratch_negatives_);
+  });
+  return err;
+}
+
+MatrixF OselmSkipGram::extract_embedding() const {
+  MatrixF emb(num_nodes(), dims());
+  const float scale =
+      opts_.random_alpha ? 1.0f : static_cast<float>(opts_.mu);
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    auto src = beta_t_.row(v);
+    auto dst = emb.row(v);
+    for (std::size_t d = 0; d < dims(); ++d) dst[d] = scale * src[d];
+  }
+  return emb;
+}
+
+}  // namespace seqge

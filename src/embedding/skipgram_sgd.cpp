@@ -1,0 +1,75 @@
+#include "embedding/skipgram_sgd.hpp"
+
+#include <cmath>
+
+#include "linalg/kernels.hpp"
+
+namespace seqge {
+
+SkipGramSGD::SkipGramSGD(std::size_t num_nodes, std::size_t dims, Rng& rng)
+    : w_in_(num_nodes, dims), w_out_(num_nodes, dims), h_grad_(dims, 0.0f) {
+  const double r = 0.5 / static_cast<double>(dims);
+  w_in_.fill_uniform(rng, -r, r);
+  // w_out_ stays zero (word2vec convention: output vectors start at 0).
+}
+
+double SkipGramSGD::train_pair(NodeId center, NodeId positive,
+                               std::span<const NodeId> negatives,
+                               double lr) {
+  auto h = w_in_.row(center);
+  std::fill(h_grad_.begin(), h_grad_.end(), 0.0f);
+  double loss = 0.0;
+
+  auto train_sample = [&](NodeId s, float label) {
+    auto v = w_out_.row(s);
+    const double score = sigmoid(dot<float>(h, v));
+    const auto g = static_cast<float>(score - label);
+    loss += label > 0.5f ? -std::log(std::max(score, 1e-12))
+                         : -std::log(std::max(1.0 - score, 1e-12));
+    // h_grad accumulates before v changes, as in the reference word2vec.
+    axpy<float>(g, v, h_grad_);
+    axpy<float>(static_cast<float>(-lr) * g, h, v);
+  };
+
+  train_sample(positive, 1.0f);
+  for (NodeId neg : negatives) {
+    if (neg == positive) continue;  // never push the positive down
+    train_sample(neg, 0.0f);
+  }
+  axpy<float>(static_cast<float>(-lr), h_grad_, h);
+  return loss;
+}
+
+double SkipGramSGD::train_context(const WalkContext& ctx,
+                                  std::span<const NodeId> negatives,
+                                  double lr) {
+  double loss = 0.0;
+  for (NodeId pos : ctx.positives) {
+    loss += train_pair(ctx.center, pos, negatives, lr);
+  }
+  return loss;
+}
+
+double SkipGramSGD::train_walk(std::span<const NodeId> walk,
+                               std::size_t window,
+                               const NegativeSampler& sampler, std::size_t ns,
+                               NegativeMode mode, Rng& rng, double lr) {
+  double loss = 0.0;
+  if (mode == NegativeMode::kPerWalk) {
+    sampler.sample_batch(rng, ns, /*exclude=*/walk.empty() ? 0 : walk[0],
+                         scratch_negatives_);
+  }
+  for_each_context(walk, window, [&](const WalkContext& ctx) {
+    if (mode == NegativeMode::kPerContext) {
+      for (NodeId pos : ctx.positives) {
+        sampler.sample_batch(rng, ns, pos, scratch_negatives_);
+        loss += train_pair(ctx.center, pos, scratch_negatives_, lr);
+      }
+    } else {
+      loss += train_context(ctx, scratch_negatives_, lr);
+    }
+  });
+  return loss;
+}
+
+}  // namespace seqge

@@ -1,0 +1,71 @@
+#pragma once
+// Sparse per-row accumulation buffer for the dataflow algorithm's
+// delta-beta: within one random walk only O(l + ns) of the n embedding
+// rows are touched, so the deferred update keeps a dirty list plus a
+// compact pool of rows instead of a dense n x dims matrix. The node ->
+// slot index is persistent across walks (O(1) clears via the dirty
+// list), so repeated train_walk calls cost O(touched), not O(n).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "linalg/matrix.hpp"
+
+namespace seqge {
+
+class SparseRowDelta {
+ public:
+  SparseRowDelta(std::size_t num_rows, std::size_t dims)
+      : dims_(dims), slot_of_(num_rows, kNoSlot) {}
+
+  /// Accumulation row for `node`; zero-initialized on first touch per
+  /// epoch (i.e., since the last clear()/apply_to()).
+  [[nodiscard]] std::span<float> row(NodeId node) {
+    std::int32_t slot = slot_of_[node];
+    if (slot == kNoSlot) {
+      slot = static_cast<std::int32_t>(dirty_.size());
+      slot_of_[node] = slot;
+      dirty_.push_back(node);
+      if (pool_.size() < dirty_.size() * dims_) {
+        pool_.resize(dirty_.size() * dims_, 0.0f);
+      } else {
+        std::fill_n(pool_.begin() + slot * static_cast<std::ptrdiff_t>(dims_),
+                    dims_, 0.0f);
+      }
+    }
+    return {pool_.data() + static_cast<std::size_t>(slot) * dims_, dims_};
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& dirty() const noexcept {
+    return dirty_;
+  }
+  [[nodiscard]] std::size_t dims() const noexcept { return dims_; }
+
+  /// target.row(node) += delta.row(node) for every dirty node, then
+  /// reset to empty.
+  void apply_to(MatrixF& target) {
+    for (std::size_t i = 0; i < dirty_.size(); ++i) {
+      const NodeId node = dirty_[i];
+      auto dst = target.row(node);
+      const float* src = pool_.data() + i * dims_;
+      for (std::size_t d = 0; d < dims_; ++d) dst[d] += src[d];
+    }
+    clear();
+  }
+
+  void clear() noexcept {
+    for (NodeId node : dirty_) slot_of_[node] = kNoSlot;
+    dirty_.clear();
+  }
+
+ private:
+  static constexpr std::int32_t kNoSlot = -1;
+  std::size_t dims_;
+  std::vector<std::int32_t> slot_of_;
+  std::vector<NodeId> dirty_;
+  std::vector<float> pool_;
+};
+
+}  // namespace seqge

@@ -1,0 +1,111 @@
+#include "embedding/trainer.hpp"
+
+#include "walk/corpus.hpp"
+#include "walk/node2vec_walker.hpp"
+
+namespace seqge {
+
+TrainStats train_all(EmbeddingModel& model, const Graph& graph,
+                     const TrainConfig& cfg, Rng& rng) {
+  cfg.validate();
+  TrainStats stats;
+  WallTimer timer;
+
+  WalkCorpus corpus =
+      generate_corpus(graph, cfg.walk, cfg.walks_per_node, rng);
+  stats.walk_seconds = timer.seconds();
+
+  NegativeSampler sampler(corpus.frequency);
+
+  timer.reset();
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    for (const auto& walk : corpus.walks) {
+      stats.last_loss =
+          model.train_walk(walk, cfg.walk.window, sampler,
+                           cfg.negative_samples, cfg.negative_mode, rng);
+      ++stats.num_walks;
+      stats.num_contexts += num_contexts(walk.size(), cfg.walk.window);
+    }
+  }
+  stats.train_seconds = timer.seconds();
+  return stats;
+}
+
+SequentialResult train_sequential(EmbeddingModel& model,
+                                  const Graph& full_graph,
+                                  const SequentialConfig& cfg, Rng& rng) {
+  cfg.train.validate();
+  SequentialResult result;
+  TrainStats& stats = result.stats;
+
+  // Phase 0: split into spanning forest + insertion stream.
+  ForestSplit split = split_spanning_forest(full_graph, rng);
+  result.forest_edges = split.forest_edges.size();
+  result.removed_edges = split.removed_edges.size();
+
+  DynamicGraph dyn(full_graph.num_nodes());
+  for (const Edge& e : split.forest_edges) dyn.add_edge(e.src, e.dst, e.weight);
+
+  // Phase 1: initial training on the forest.
+  const std::size_t init_r = cfg.initial_walks_per_node != 0
+                                 ? cfg.initial_walks_per_node
+                                 : cfg.train.walks_per_node;
+  WallTimer timer;
+  WalkCorpus corpus = generate_corpus(dyn, cfg.train.walk, init_r, rng);
+  stats.walk_seconds += timer.seconds();
+
+  std::vector<std::uint64_t> frequency = corpus.frequency;
+  NegativeSampler sampler(frequency);
+
+  timer.reset();
+  for (const auto& walk : corpus.walks) {
+    stats.last_loss =
+        model.train_walk(walk, cfg.train.walk.window, sampler,
+                         cfg.train.negative_samples,
+                         cfg.train.negative_mode, rng);
+    ++stats.num_walks;
+    stats.num_contexts += num_contexts(walk.size(), cfg.train.walk.window);
+  }
+  stats.train_seconds += timer.seconds();
+  corpus.walks.clear();
+  corpus.walks.shrink_to_fit();
+
+  // Phase 2: stream the removed edges back in; walk from both endpoints
+  // of each inserted edge (Sec. 4.3.2) and train sequentially.
+  Node2VecWalker<DynamicGraph> walker(dyn, cfg.train.walk);
+  std::vector<NodeId> walk;
+  std::size_t since_rebuild = 0;
+
+  const std::size_t limit =
+      std::min(cfg.max_insertions, split.removed_edges.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const Edge& e = split.removed_edges[i];
+    if (!dyn.add_edge(e.src, e.dst, e.weight)) continue;
+    ++result.insertions;
+
+    for (NodeId endpoint : {e.src, e.dst}) {
+      timer.reset();
+      walker.walk_into(rng, endpoint, walk);
+      stats.walk_seconds += timer.seconds();
+      for (NodeId v : walk) ++frequency[v];
+
+      timer.reset();
+      stats.last_loss =
+          model.train_walk(walk, cfg.train.walk.window, sampler,
+                           cfg.train.negative_samples,
+                           cfg.train.negative_mode, rng);
+      stats.train_seconds += timer.seconds();
+      ++stats.num_walks;
+      stats.num_contexts +=
+          num_contexts(walk.size(), cfg.train.walk.window);
+    }
+
+    if (++since_rebuild >= cfg.sampler_rebuild_interval) {
+      sampler = NegativeSampler(frequency);
+      since_rebuild = 0;
+    }
+  }
+  return result;
+}
+
+}  // namespace seqge

@@ -1,0 +1,66 @@
+#pragma once
+// Training orchestration for the paper's two scenarios (Sec. 4.3.2):
+//
+//  * "all" — the entire graph exists from the beginning: generate r
+//    walks per node, build the negative-sampling distribution from walk
+//    frequencies, and train every walk (train_all).
+//
+//  * "seq" — start from a spanning forest with the same connected
+//    components, then add the removed edges back one at a time; each
+//    insertion triggers a random walk from *both* endpoints of the new
+//    edge plus a sequential training step (train_sequential).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "embedding/config.hpp"
+#include "embedding/model.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_forest.hpp"
+#include "util/timer.hpp"
+
+namespace seqge {
+
+struct TrainStats {
+  double walk_seconds = 0.0;   ///< time spent generating random walks
+  double train_seconds = 0.0;  ///< time spent in model updates
+  std::size_t num_walks = 0;
+  std::size_t num_contexts = 0;
+  double last_loss = 0.0;
+};
+
+/// Batch ("all") training of `model` on a static graph.
+TrainStats train_all(EmbeddingModel& model, const Graph& graph,
+                     const TrainConfig& cfg, Rng& rng);
+
+struct SequentialConfig {
+  TrainConfig train;
+  /// Walks per node for the initial (forest) training phase. 0 = use
+  /// train.walks_per_node.
+  std::size_t initial_walks_per_node = 0;
+  /// Rebuild the O(n) negative-sampling alias table every this many
+  /// insertions (the paper rebuilds per walk; amortizing preserves the
+  /// distribution to within staleness of a few hundred walk counts).
+  std::size_t sampler_rebuild_interval = 256;
+  /// Cap on the number of edge insertions (for scaled-down benches);
+  /// SIZE_MAX = insert every removed edge.
+  std::size_t max_insertions = static_cast<std::size_t>(-1);
+};
+
+struct SequentialResult {
+  TrainStats stats;
+  std::size_t insertions = 0;
+  std::size_t forest_edges = 0;
+  std::size_t removed_edges = 0;
+};
+
+/// Dynamic ("seq") training: forest initialization + per-edge sequential
+/// updates. The model keeps all state across insertions — this is what
+/// exposes catastrophic forgetting in the SGD baseline.
+SequentialResult train_sequential(EmbeddingModel& model,
+                                  const Graph& full_graph,
+                                  const SequentialConfig& cfg, Rng& rng);
+
+}  // namespace seqge

@@ -1,0 +1,103 @@
+#include "eval/link_prediction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "linalg/kernels.hpp"
+
+namespace seqge {
+
+double score_edge(const MatrixF& embedding, NodeId u, NodeId v,
+                  EdgeScore kind) {
+  auto eu = embedding.row(u);
+  auto ev = embedding.row(v);
+  switch (kind) {
+    case EdgeScore::kDot:
+      return dot<float>(eu, ev);
+    case EdgeScore::kCosine:
+      return cosine_similarity(eu, ev);
+    case EdgeScore::kHadamardL2: {
+      // Sum of element-wise products of normalized vectors; reduces to
+      // cosine but kept separate for API symmetry with the literature's
+      // Hadamard operator.
+      double s = 0.0;
+      const double nu = l2_norm(eu), nv = l2_norm(ev);
+      if (nu == 0.0 || nv == 0.0) return 0.0;
+      for (std::size_t d = 0; d < eu.size(); ++d) {
+        s += (eu[d] / nu) * (ev[d] / nv);
+      }
+      return s;
+    }
+  }
+  return 0.0;
+}
+
+std::vector<Edge> sample_non_edges(const Graph& g, std::size_t count,
+                                   Rng& rng) {
+  const std::size_t n = g.num_nodes();
+  if (n < 2) throw std::invalid_argument("sample_non_edges: graph too small");
+  const std::size_t max_pairs = n * (n - 1) / 2;
+  if (count > max_pairs - g.num_edges()) {
+    throw std::invalid_argument("sample_non_edges: not enough non-edges");
+  }
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(count * 2);
+  std::vector<Edge> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    auto u = static_cast<NodeId>(rng.bounded(n));
+    auto v = static_cast<NodeId>(rng.bounded(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (g.has_edge(u, v)) continue;
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (!seen.insert(key).second) continue;
+    out.push_back({u, v, 1.0f});
+  }
+  return out;
+}
+
+double roc_auc(std::span<const double> positive_scores,
+               std::span<const double> negative_scores) {
+  if (positive_scores.empty() || negative_scores.empty()) {
+    throw std::invalid_argument("roc_auc: empty score list");
+  }
+  // Rank-sum (Mann-Whitney U) formulation: sort negatives, then for each
+  // positive count how many negatives it beats (binary search), ties 1/2.
+  std::vector<double> negs(negative_scores.begin(), negative_scores.end());
+  std::sort(negs.begin(), negs.end());
+  double wins = 0.0;
+  for (double p : positive_scores) {
+    const auto lo = std::lower_bound(negs.begin(), negs.end(), p);
+    const auto hi = std::upper_bound(negs.begin(), negs.end(), p);
+    wins += static_cast<double>(lo - negs.begin()) +
+            0.5 * static_cast<double>(hi - lo);
+  }
+  return wins / (static_cast<double>(positive_scores.size()) *
+                 static_cast<double>(negs.size()));
+}
+
+double link_prediction_auc(const MatrixF& embedding,
+                           const Graph& observed_graph,
+                           std::span<const Edge> held_out, EdgeScore kind,
+                           Rng& rng) {
+  if (held_out.empty()) {
+    throw std::invalid_argument("link_prediction_auc: no held-out edges");
+  }
+  const std::vector<Edge> negatives =
+      sample_non_edges(observed_graph, held_out.size(), rng);
+  std::vector<double> pos_scores, neg_scores;
+  pos_scores.reserve(held_out.size());
+  neg_scores.reserve(negatives.size());
+  for (const Edge& e : held_out) {
+    pos_scores.push_back(score_edge(embedding, e.src, e.dst, kind));
+  }
+  for (const Edge& e : negatives) {
+    neg_scores.push_back(score_edge(embedding, e.src, e.dst, kind));
+  }
+  return roc_auc(pos_scores, neg_scores);
+}
+
+}  // namespace seqge

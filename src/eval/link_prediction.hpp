@@ -1,0 +1,45 @@
+#pragma once
+// Link prediction evaluation for dynamic-graph embeddings (the task the
+// dynamic-node2vec related work [4][5] of the paper evaluates). Held-out
+// edges are scored against an equal number of sampled non-edges using a
+// similarity of the endpoint embeddings; quality is ROC-AUC — the
+// probability that a random true edge outscores a random non-edge.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace seqge {
+
+enum class EdgeScore {
+  kDot,       ///< u . v
+  kCosine,    ///< u . v / (|u| |v|)
+  kHadamardL2 ///< -|u (.) v - mean|… simple Hadamard-norm heuristic
+};
+
+/// Score one candidate edge from its endpoint embeddings.
+[[nodiscard]] double score_edge(const MatrixF& embedding, NodeId u,
+                                NodeId v, EdgeScore kind);
+
+/// Sample `count` distinct non-edges of `g` (uniform over node pairs,
+/// rejecting existing edges and self-loops).
+[[nodiscard]] std::vector<Edge> sample_non_edges(const Graph& g,
+                                                 std::size_t count,
+                                                 Rng& rng);
+
+/// ROC-AUC of positives-vs-negatives score lists (ties count 1/2).
+[[nodiscard]] double roc_auc(std::span<const double> positive_scores,
+                             std::span<const double> negative_scores);
+
+/// End-to-end: AUC of `held_out` edges vs an equal number of sampled
+/// non-edges under the given scoring.
+[[nodiscard]] double link_prediction_auc(const MatrixF& embedding,
+                                         const Graph& observed_graph,
+                                         std::span<const Edge> held_out,
+                                         EdgeScore kind, Rng& rng);
+
+}  // namespace seqge

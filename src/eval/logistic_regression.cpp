@@ -1,0 +1,111 @@
+#include "eval/logistic_regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/kernels.hpp"
+
+namespace seqge {
+
+void OneVsRestLogisticRegression::standardize_row(
+    std::span<const float> x, std::span<double> out) const {
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    double v = x[d];
+    if (!feat_mean_.empty()) {
+      v = (v - feat_mean_[d]) * feat_inv_std_[d];
+    }
+    out[d] = v;
+  }
+}
+
+void OneVsRestLogisticRegression::fit(
+    const MatrixF& features, std::span<const std::uint32_t> labels,
+    std::span<const std::uint32_t> train_indices, std::size_t num_classes) {
+  if (train_indices.empty()) {
+    throw std::invalid_argument("LogisticRegression::fit: no training data");
+  }
+  const std::size_t dims = features.cols();
+  weights_ = Matrix<double>(num_classes, dims);
+  bias_.assign(num_classes, 0.0);
+
+  if (cfg_.standardize) {
+    feat_mean_.assign(dims, 0.0);
+    feat_inv_std_.assign(dims, 1.0);
+    for (std::uint32_t idx : train_indices) {
+      auto row = features.row(idx);
+      for (std::size_t d = 0; d < dims; ++d) feat_mean_[d] += row[d];
+    }
+    const double inv_n = 1.0 / static_cast<double>(train_indices.size());
+    for (std::size_t d = 0; d < dims; ++d) feat_mean_[d] *= inv_n;
+    std::vector<double> var(dims, 0.0);
+    for (std::uint32_t idx : train_indices) {
+      auto row = features.row(idx);
+      for (std::size_t d = 0; d < dims; ++d) {
+        const double c = row[d] - feat_mean_[d];
+        var[d] += c * c;
+      }
+    }
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double sd = std::sqrt(var[d] * inv_n);
+      feat_inv_std_[d] = sd > 1e-12 ? 1.0 / sd : 1.0;
+    }
+  } else {
+    feat_mean_.clear();
+    feat_inv_std_.clear();
+  }
+
+  Rng rng(cfg_.seed);
+  std::vector<std::uint32_t> order(train_indices.begin(),
+                                   train_indices.end());
+  std::vector<double> x(dims);
+
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    // 1/t learning-rate decay keeps late epochs from oscillating.
+    const double lr =
+        cfg_.learning_rate / (1.0 + 0.02 * static_cast<double>(epoch));
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.bounded(i)]);
+    }
+    for (std::uint32_t idx : order) {
+      standardize_row(features.row(idx), x);
+      const std::uint32_t y = labels[idx];
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        auto w = weights_.row(c);
+        const double t = (c == y) ? 1.0 : 0.0;
+        const double score = sigmoid(dot<double>(w, x) + bias_[c]);
+        const double g = score - t;
+        for (std::size_t d = 0; d < dims; ++d) {
+          w[d] -= lr * (g * x[d] + cfg_.l2 * w[d]);
+        }
+        bias_[c] -= lr * g;
+      }
+    }
+  }
+}
+
+std::uint32_t OneVsRestLogisticRegression::predict(
+    std::span<const float> x) const {
+  std::vector<double> xs(x.size());
+  standardize_row(x, xs);
+  std::uint32_t best = 0;
+  double best_score = -1e300;
+  for (std::size_t c = 0; c < weights_.rows(); ++c) {
+    const double s = dot<double>(weights_.row(c), std::span<const double>(xs)) +
+                     bias_[c];
+    if (s > best_score) {
+      best_score = s;
+      best = static_cast<std::uint32_t>(c);
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> OneVsRestLogisticRegression::predict_rows(
+    const MatrixF& features, std::span<const std::uint32_t> indices) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(indices.size());
+  for (std::uint32_t idx : indices) out.push_back(predict(features.row(idx)));
+  return out;
+}
+
+}  // namespace seqge

@@ -1,0 +1,59 @@
+#pragma once
+// One-vs-rest multinomial logistic regression trained by SGD — the
+// downstream task used to score embeddings (Sec. 4.3). One binary
+// logistic classifier per class over the embedding features; prediction
+// is the argmax of the per-class scores.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace seqge {
+
+struct LogisticRegressionConfig {
+  std::size_t epochs = 100;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  /// Standardize features to zero mean / unit variance over the training
+  /// set before fitting (embedding scales vary wildly with mu).
+  bool standardize = true;
+  std::uint64_t seed = 7;
+};
+
+class OneVsRestLogisticRegression {
+ public:
+  explicit OneVsRestLogisticRegression(
+      LogisticRegressionConfig cfg = LogisticRegressionConfig{})
+      : cfg_(cfg) {}
+
+  /// Fit on features.row(i) for i in train_indices with labels[i].
+  void fit(const MatrixF& features, std::span<const std::uint32_t> labels,
+           std::span<const std::uint32_t> train_indices,
+           std::size_t num_classes);
+
+  /// Predict the class of one feature row.
+  [[nodiscard]] std::uint32_t predict(std::span<const float> x) const;
+
+  /// Predict for a set of row indices of `features`.
+  [[nodiscard]] std::vector<std::uint32_t> predict_rows(
+      const MatrixF& features,
+      std::span<const std::uint32_t> indices) const;
+
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return weights_.rows();
+  }
+
+ private:
+  void standardize_row(std::span<const float> x,
+                       std::span<double> out) const;
+
+  LogisticRegressionConfig cfg_;
+  Matrix<double> weights_;  // num_classes x dims
+  std::vector<double> bias_;
+  std::vector<double> feat_mean_, feat_inv_std_;
+};
+
+}  // namespace seqge

@@ -1,0 +1,53 @@
+#include "eval/metrics.hpp"
+
+#include <stdexcept>
+
+namespace seqge {
+
+F1Scores f1_scores(std::span<const std::uint32_t> predicted,
+                   std::span<const std::uint32_t> actual,
+                   std::size_t num_classes) {
+  if (predicted.size() != actual.size() || predicted.empty()) {
+    throw std::invalid_argument("f1_scores: size mismatch or empty");
+  }
+  std::vector<std::uint64_t> tp(num_classes, 0), fp(num_classes, 0),
+      fn(num_classes, 0);
+  std::uint64_t correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const std::uint32_t p = predicted[i];
+    const std::uint32_t a = actual[i];
+    if (p >= num_classes || a >= num_classes) {
+      throw std::out_of_range("f1_scores: label out of range");
+    }
+    if (p == a) {
+      ++tp[p];
+      ++correct;
+    } else {
+      ++fp[p];
+      ++fn[a];
+    }
+  }
+
+  F1Scores out;
+  out.accuracy =
+      static_cast<double>(correct) / static_cast<double>(predicted.size());
+
+  std::uint64_t tp_sum = 0, fp_sum = 0, fn_sum = 0;
+  double macro_sum = 0.0;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    tp_sum += tp[c];
+    fp_sum += fp[c];
+    fn_sum += fn[c];
+    const double denom =
+        static_cast<double>(2 * tp[c] + fp[c] + fn[c]);
+    macro_sum += denom > 0.0 ? 2.0 * static_cast<double>(tp[c]) / denom : 0.0;
+  }
+  const double micro_denom = static_cast<double>(2 * tp_sum + fp_sum + fn_sum);
+  out.micro = micro_denom > 0.0
+                  ? 2.0 * static_cast<double>(tp_sum) / micro_denom
+                  : 0.0;
+  out.macro = macro_sum / static_cast<double>(num_classes);
+  return out;
+}
+
+}  // namespace seqge

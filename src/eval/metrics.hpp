@@ -1,0 +1,26 @@
+#pragma once
+// Classification metrics. The paper reports the micro-averaged F1 score
+// of a one-vs-rest logistic regression on the learned embedding
+// (Sec. 4.3); macro-F1 is also provided for completeness.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace seqge {
+
+struct F1Scores {
+  double micro = 0.0;
+  double macro = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Compute F1 scores from predicted and true labels (both in
+/// [0, num_classes)). For single-label multiclass problems micro-F1
+/// equals accuracy; both are computed from the confusion counts so the
+/// identity is verified by tests rather than assumed.
+[[nodiscard]] F1Scores f1_scores(std::span<const std::uint32_t> predicted,
+                                 std::span<const std::uint32_t> actual,
+                                 std::size_t num_classes);
+
+}  // namespace seqge

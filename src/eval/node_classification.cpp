@@ -1,0 +1,42 @@
+#include "eval/node_classification.hpp"
+
+#include "eval/split.hpp"
+
+namespace seqge {
+
+F1Scores evaluate_embedding(const MatrixF& embedding,
+                            std::span<const std::uint32_t> labels,
+                            std::size_t num_classes,
+                            const ClassificationConfig& cfg,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  TrainTestSplit split =
+      stratified_split(labels, num_classes, cfg.test_fraction, rng);
+
+  LogisticRegressionConfig lr_cfg = cfg.lr;
+  lr_cfg.seed = seed ^ 0xC1A551F1ED5EEDULL;
+  OneVsRestLogisticRegression clf(lr_cfg);
+  clf.fit(embedding, labels, split.train_indices, num_classes);
+
+  const auto predicted = clf.predict_rows(embedding, split.test_indices);
+  std::vector<std::uint32_t> actual;
+  actual.reserve(split.test_indices.size());
+  for (std::uint32_t idx : split.test_indices) actual.push_back(labels[idx]);
+  return f1_scores(predicted, actual, num_classes);
+}
+
+double mean_micro_f1(const MatrixF& embedding,
+                     std::span<const std::uint32_t> labels,
+                     std::size_t num_classes,
+                     const ClassificationConfig& cfg, std::size_t trials,
+                     std::uint64_t seed) {
+  double sum = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    sum += evaluate_embedding(embedding, labels, num_classes, cfg,
+                              seed + t * 1000003ULL)
+               .micro;
+  }
+  return sum / static_cast<double>(trials);
+}
+
+}  // namespace seqge

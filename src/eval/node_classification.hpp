@@ -1,0 +1,35 @@
+#pragma once
+// End-to-end embedding quality harness: 90/10 stratified split ->
+// one-vs-rest logistic regression -> micro-F1 on the held-out 10%
+// (exactly the paper's Sec. 4.3 protocol). evaluate_embedding runs one
+// trial; mean_f1_over_trials averages several, as the paper averages
+// three.
+
+#include <cstdint>
+#include <span>
+
+#include "eval/logistic_regression.hpp"
+#include "eval/metrics.hpp"
+#include "linalg/matrix.hpp"
+
+namespace seqge {
+
+struct ClassificationConfig {
+  double test_fraction = 0.1;
+  LogisticRegressionConfig lr{};
+};
+
+/// One split + fit + score trial.
+[[nodiscard]] F1Scores evaluate_embedding(
+    const MatrixF& embedding, std::span<const std::uint32_t> labels,
+    std::size_t num_classes, const ClassificationConfig& cfg,
+    std::uint64_t seed);
+
+/// Mean micro-F1 over `trials` runs with distinct split/classifier seeds.
+[[nodiscard]] double mean_micro_f1(const MatrixF& embedding,
+                                   std::span<const std::uint32_t> labels,
+                                   std::size_t num_classes,
+                                   const ClassificationConfig& cfg,
+                                   std::size_t trials, std::uint64_t seed);
+
+}  // namespace seqge

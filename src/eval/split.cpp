@@ -1,0 +1,37 @@
+#include "eval/split.hpp"
+
+#include <stdexcept>
+
+namespace seqge {
+
+TrainTestSplit stratified_split(std::span<const std::uint32_t> labels,
+                                std::size_t num_classes,
+                                double test_fraction, Rng& rng) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    throw std::invalid_argument("stratified_split: bad test_fraction");
+  }
+  std::vector<std::vector<std::uint32_t>> by_class(num_classes);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] >= num_classes) {
+      throw std::out_of_range("stratified_split: label out of range");
+    }
+    by_class[labels[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  TrainTestSplit split;
+  for (auto& members : by_class) {
+    for (std::size_t i = members.size(); i > 1; --i) {
+      std::swap(members[i - 1], members[rng.bounded(i)]);
+    }
+    std::size_t n_test = static_cast<std::size_t>(
+        static_cast<double>(members.size()) * test_fraction);
+    if (members.size() >= 2 && n_test == 0) n_test = 1;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      (i < n_test ? split.test_indices : split.train_indices)
+          .push_back(members[i]);
+    }
+  }
+  return split;
+}
+
+}  // namespace seqge

@@ -1,0 +1,26 @@
+#pragma once
+// Stratified train/test split for node classification: the paper uses
+// 90% train / 10% test (Sec. 4.3). Stratification keeps every class
+// represented in both partitions even for small or imbalanced classes.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace seqge {
+
+struct TrainTestSplit {
+  std::vector<std::uint32_t> train_indices;
+  std::vector<std::uint32_t> test_indices;
+};
+
+/// Split sample indices [0, labels.size()) so that ~`test_fraction` of
+/// each class lands in the test set (at least 1 test sample per class
+/// with >= 2 members).
+[[nodiscard]] TrainTestSplit stratified_split(
+    std::span<const std::uint32_t> labels, std::size_t num_classes,
+    double test_fraction, Rng& rng);
+
+}  // namespace seqge

@@ -1,0 +1,110 @@
+#include "fpga/accelerator.hpp"
+
+#include <stdexcept>
+
+namespace seqge::fpga {
+
+Accelerator::Accelerator(std::size_t num_nodes,
+                         const AcceleratorConfig& cfg, Rng& rng)
+    : cfg_(cfg),
+      num_nodes_(num_nodes),
+      core_(cfg),
+      perf_(cfg),
+      dram_beta_(num_nodes * cfg.dims),
+      slot_of_(num_nodes, -1) {
+  cfg_.validate();
+  // Same init distribution as the CPU models, quantized to Q8.24.
+  const double r = 0.5 / static_cast<double>(cfg_.dims);
+  for (auto& v : dram_beta_) {
+    v = CoreFixed::from_double(rng.uniform(-r, r));
+  }
+  // P = p0 * I lives in BRAM for the lifetime of the training session.
+  std::vector<CoreFixed> p(cfg_.dims * cfg_.dims);
+  for (std::size_t i = 0; i < cfg_.dims; ++i) {
+    p[i * cfg_.dims + i] = CoreFixed::from_double(cfg_.p0);
+  }
+  core_.load_p(p);
+}
+
+std::uint32_t Accelerator::slot_for(NodeId node) {
+  if (slot_of_[node] >= 0) return static_cast<std::uint32_t>(slot_of_[node]);
+  const auto slot = static_cast<std::uint32_t>(slot_nodes_.size());
+  if (slot >= cfg_.max_slots()) {
+    throw std::runtime_error("Accelerator: BRAM slot overflow");
+  }
+  slot_of_[node] = static_cast<std::int32_t>(slot);
+  slot_nodes_.push_back(node);
+  return slot;
+}
+
+void Accelerator::release_slots() {
+  for (NodeId node : slot_nodes_) slot_of_[node] = -1;
+  slot_nodes_.clear();
+}
+
+double Accelerator::train_walk(std::span<const NodeId> walk,
+                               std::size_t window,
+                               const NegativeSampler& sampler,
+                               std::size_t ns, NegativeMode /*mode*/,
+                               Rng& rng) {
+  if (walk.size() < window) return 0.0;
+  if (window != cfg_.window) {
+    throw std::invalid_argument("Accelerator: window != configured window");
+  }
+
+  // PS side: pre-sample one shared negative set for the walk (Sec. 3.2).
+  sampler.sample_batch(rng, ns, walk[0], negatives_);
+
+  // Slot assignment. Negatives that also appear in the walk share the
+  // walk node's slot so their deferred updates accumulate into one row.
+  walk_slots_.clear();
+  for (NodeId v : walk) walk_slots_.push_back(slot_for(v));
+  neg_slots_.clear();
+  for (NodeId v : negatives_) neg_slots_.push_back(slot_for(v));
+
+  // DMA-in: gather the touched beta rows from DRAM into BRAM slots.
+  for (std::size_t s = 0; s < slot_nodes_.size(); ++s) {
+    const NodeId node = slot_nodes_[s];
+    core_.load_beta_slot(
+        s, {dram_beta_.data() + static_cast<std::size_t>(node) * cfg_.dims,
+            cfg_.dims});
+  }
+
+  // PL side: run Algorithm 2 bit-accurately.
+  const double sq_err = core_.run_walk(walk_slots_, neg_slots_);
+
+  // DMA-out: scatter updated rows back to DRAM.
+  for (std::size_t s = 0; s < slot_nodes_.size(); ++s) {
+    const NodeId node = slot_nodes_[s];
+    auto src = core_.beta_slot(s);
+    std::copy(src.begin(), src.end(),
+              dram_beta_.begin() + static_cast<std::size_t>(node) * cfg_.dims);
+  }
+
+  // Simulated time from the cycle/DMA models (full-length walks match
+  // the calibrated Tables 3/4 point; short walks scale by context and
+  // slot counts).
+  last_timing_ = perf_.walk_timing(
+      walk.size() >= window ? walk.size() - window + 1 : 0,
+      slot_nodes_.size());
+  simulated_us_ += last_timing_.total_us;
+  ++walks_;
+
+  release_slots();
+  return sq_err;
+}
+
+MatrixF Accelerator::extract_embedding() const {
+  MatrixF emb(num_nodes_, cfg_.dims);
+  const auto mu = static_cast<float>(cfg_.mu);
+  for (std::size_t v = 0; v < num_nodes_; ++v) {
+    auto dst = emb.row(v);
+    const CoreFixed* src = dram_beta_.data() + v * cfg_.dims;
+    for (std::size_t d = 0; d < cfg_.dims; ++d) {
+      dst[d] = mu * static_cast<float>(src[d].to_double());
+    }
+  }
+  return emb;
+}
+
+}  // namespace seqge::fpga

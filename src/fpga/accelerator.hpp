@@ -1,0 +1,81 @@
+#pragma once
+// Host-side driver of the board-level system (Fig. 4). The "PS" side
+// owns the full weight array in DRAM (fixed-point, as stored on the
+// device) and, per random walk:
+//   1. pre-samples negatives (host CPU, like the paper's PS),
+//   2. maps the walk's distinct nodes + negatives to BRAM slots,
+//   3. DMA-in: sample ids, touched beta rows (P is modeled in the
+//      transfer budget too, matching the perf-model calibration),
+//   4. runs the bit-accurate HLS core (Algorithm 2),
+//   5. DMA-out: updated beta rows, written back to DRAM.
+//
+// Wall-clock on the simulating host is irrelevant; the accelerator
+// accumulates *simulated* time from the cycle/DMA models. Implements
+// EmbeddingModel so both trainers (all/seq) can drive the FPGA exactly
+// like the CPU models — that is how Fig. 5/6 FPGA accuracy results are
+// produced.
+
+#include <cstdint>
+#include <vector>
+
+#include "embedding/model.hpp"
+#include "fpga/hls_core.hpp"
+#include "fpga/perf_model.hpp"
+#include "graph/graph.hpp"
+
+namespace seqge::fpga {
+
+class Accelerator final : public EmbeddingModel {
+ public:
+  Accelerator(std::size_t num_nodes, const AcceleratorConfig& cfg, Rng& rng);
+
+  // --- EmbeddingModel ----------------------------------------------------
+  double train_walk(std::span<const NodeId> walk, std::size_t window,
+                    const NegativeSampler& sampler, std::size_t ns,
+                    NegativeMode mode, Rng& rng) override;
+  [[nodiscard]] MatrixF extract_embedding() const override;
+  [[nodiscard]] std::size_t dims() const override { return cfg_.dims; }
+  [[nodiscard]] std::size_t num_nodes() const override {
+    return num_nodes_;
+  }
+  [[nodiscard]] std::size_t model_bytes() const override {
+    return (num_nodes_ * cfg_.dims + cfg_.dims * cfg_.dims) *
+           PerfModel::kWordBytes;
+  }
+  [[nodiscard]] std::string name() const override { return "fpga-accel"; }
+
+  // --- simulation introspection -------------------------------------------
+  [[nodiscard]] double simulated_seconds() const noexcept {
+    return simulated_us_ * 1e-6;
+  }
+  [[nodiscard]] const WalkTiming& last_walk_timing() const noexcept {
+    return last_timing_;
+  }
+  [[nodiscard]] std::uint64_t walks_processed() const noexcept {
+    return walks_;
+  }
+  [[nodiscard]] const HlsCore& core() const noexcept { return core_; }
+  [[nodiscard]] const AcceleratorConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  AcceleratorConfig cfg_;
+  std::size_t num_nodes_;
+  HlsCore core_;
+  PerfModel perf_;
+  std::vector<CoreFixed> dram_beta_;  // n x N, device-format weights
+  // node -> slot scratch (persistent, O(touched) clears)
+  std::vector<std::int32_t> slot_of_;
+  std::vector<NodeId> slot_nodes_;
+  std::vector<std::uint32_t> walk_slots_, neg_slots_;
+  std::vector<NodeId> negatives_;
+  double simulated_us_ = 0.0;
+  WalkTiming last_timing_{};
+  std::uint64_t walks_ = 0;
+
+  [[nodiscard]] std::uint32_t slot_for(NodeId node);
+  void release_slots();
+};
+
+}  // namespace seqge::fpga

@@ -1,0 +1,72 @@
+#pragma once
+// Configuration of the PL-side accelerator core (Sec. 3.2 / Sec. 4.5).
+// The paper's design runs the PL at 200 MHz with computational
+// parallelism "basically 32", partially raised to 48 and 64 lanes for 64
+// and 96 embedding dimensions so the dataflow stages stay balanced.
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace seqge::fpga {
+
+struct AcceleratorConfig {
+  std::size_t dims = 32;              ///< N, graph-embedding dimensions
+  std::size_t parallelism = 32;       ///< MAC lanes per stage
+  double clock_mhz = 200.0;           ///< PL clock (paper: 200 MHz)
+  std::size_t walk_length = 80;       ///< l
+  std::size_t window = 8;             ///< w
+  std::size_t negative_samples = 10;  ///< ns
+  double mu = 0.05;                   ///< scale factor (Sec. 3.1)
+  double p0 = 0.1;                   ///< initial P diagonal
+  /// Re-initialize P = p0*I in BRAM at every walk (matches the Fig. 4
+  /// flow where only beta round-trips DRAM; see TrainConfig).
+  bool reset_p_per_walk = true;
+
+  /// The paper's dims -> parallelism mapping (Sec. 4.5).
+  [[nodiscard]] static std::size_t default_parallelism(
+      std::size_t dims) noexcept {
+    if (dims <= 32) return 32;
+    if (dims <= 64) return 48;
+    return 64;
+  }
+
+  [[nodiscard]] static AcceleratorConfig for_dims(std::size_t dims) {
+    AcceleratorConfig cfg;
+    cfg.dims = dims;
+    cfg.parallelism = default_parallelism(dims);
+    return cfg;
+  }
+
+  /// BRAM slots needed for one walk: l walk nodes + ns negatives (walk
+  /// nodes may repeat; distinct-node count is bounded by l).
+  [[nodiscard]] std::size_t max_slots() const noexcept {
+    return walk_length + negative_samples;
+  }
+
+  /// Training contexts per walk: l - w + 1 (73 in the paper).
+  [[nodiscard]] std::size_t contexts_per_walk() const noexcept {
+    return walk_length >= window ? walk_length - window + 1 : 0;
+  }
+
+  /// Samples trained per context: (w - 1) positives x (1 + ns).
+  [[nodiscard]] std::size_t samples_per_context() const noexcept {
+    return (window - 1) * (1 + negative_samples);
+  }
+
+  void validate() const {
+    if (dims == 0 || parallelism == 0) {
+      throw std::invalid_argument("AcceleratorConfig: zero dims/parallelism");
+    }
+    if (clock_mhz <= 0.0) {
+      throw std::invalid_argument("AcceleratorConfig: bad clock");
+    }
+    if (window < 2 || window > walk_length) {
+      throw std::invalid_argument("AcceleratorConfig: bad window");
+    }
+    if (mu <= 0.0 || p0 <= 0.0) {
+      throw std::invalid_argument("AcceleratorConfig: bad mu/p0");
+    }
+  }
+};
+
+}  // namespace seqge::fpga

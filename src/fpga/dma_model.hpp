@@ -1,0 +1,39 @@
+#pragma once
+// AXI DMA transfer-cost model for the PS<->PL path of Fig. 4. A transfer
+// costs a fixed descriptor-setup latency plus bytes / effective
+// bandwidth. The default effective bandwidth (2.0 GB/s) was fitted
+// together with the perf model's per-context overhead against the
+// paper's three measured FPGA timings (see perf_model.hpp); it is
+// plausible for a single HP port burst stream on Zynq UltraScale+.
+
+#include <cstddef>
+
+namespace seqge::fpga {
+
+struct DmaTransfer {
+  std::size_t bytes = 0;
+  double microseconds = 0.0;
+};
+
+class DmaModel {
+ public:
+  explicit DmaModel(double bytes_per_us = 2000.0,
+                    double setup_latency_us = 1.0) noexcept
+      : bytes_per_us_(bytes_per_us), setup_latency_us_(setup_latency_us) {}
+
+  [[nodiscard]] DmaTransfer transfer(std::size_t bytes) const noexcept {
+    return {bytes, setup_latency_us_ +
+                       static_cast<double>(bytes) / bytes_per_us_};
+  }
+
+  [[nodiscard]] double bytes_per_us() const noexcept { return bytes_per_us_; }
+  [[nodiscard]] double setup_latency_us() const noexcept {
+    return setup_latency_us_;
+  }
+
+ private:
+  double bytes_per_us_;
+  double setup_latency_us_;
+};
+
+}  // namespace seqge::fpga

@@ -1,0 +1,33 @@
+#include "fpga/energy_model.hpp"
+
+#include <stdexcept>
+
+namespace seqge::fpga {
+
+PowerProfile EnergyModel::pl_power(const ResourceUsage& usage,
+                                   const DeviceSpec& device) const {
+  const double dsp_frac = usage.dsp_pct(device) / 100.0;
+  const double bram_frac = usage.bram_pct(device) / 100.0;
+  const double logic_frac =
+      0.5 * (usage.ff_pct(device) + usage.lut_pct(device)) / 100.0;
+  const double watts = coeffs_.static_w + coeffs_.dsp_w * dsp_frac +
+                       coeffs_.bram_w * bram_frac +
+                       coeffs_.logic_w * logic_frac;
+  return {"zcu104-pl", watts};
+}
+
+EnergyReport EnergyModel::report(const PowerProfile& power,
+                                 double ms_per_walk) {
+  if (ms_per_walk <= 0.0 || power.watts <= 0.0) {
+    throw std::invalid_argument("EnergyModel::report: non-positive input");
+  }
+  EnergyReport r;
+  r.platform = power.platform;
+  r.ms_per_walk = ms_per_walk;
+  r.watts = power.watts;
+  r.millijoules_per_walk = power.watts * ms_per_walk;  // W * ms = mJ
+  r.walks_per_joule = 1000.0 / r.millijoules_per_walk;
+  return r;
+}
+
+}  // namespace seqge::fpga

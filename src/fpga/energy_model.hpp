@@ -1,0 +1,67 @@
+#pragma once
+// Energy-efficiency model — the comparison the paper defers to future
+// work ("compare our FPGA implementation with an embedded GPU in terms
+// of execution time and energy efficiency", Sec. 5). Training energy
+// per random walk = average power x per-walk latency.
+//
+// Power numbers are first-order engineering estimates, documented here
+// and overridable by the caller:
+//  * PL power: static (clock tree, config) + dynamic terms proportional
+//    to DSP / BRAM / logic utilization at 200 MHz — the standard XPE
+//    shape. Defaults land ~3 W for the dims-32 design, typical for a
+//    mid-size Zynq US+ accelerator.
+//  * Cortex-A53 @1.2 GHz: ~1.5 W for the active core + DRAM.
+//  * i7-11700 @2.5 GHz (one active core of a 65 W-TDP part): ~20 W
+//    effective (package overhead amortized on a single-core workload).
+
+#include <string>
+
+#include "fpga/resource_model.hpp"
+
+namespace seqge::fpga {
+
+struct PowerProfile {
+  std::string platform;
+  double watts = 0.0;
+};
+
+struct EnergyReport {
+  std::string platform;
+  double ms_per_walk = 0.0;
+  double watts = 0.0;
+  double millijoules_per_walk = 0.0;
+  double walks_per_joule = 0.0;
+};
+
+class EnergyModel {
+ public:
+  struct PlPowerCoefficients {
+    double static_w = 0.7;   ///< PL static + clocking
+    double dsp_w = 2.2;      ///< at 100% DSP utilization, 200 MHz
+    double bram_w = 0.9;     ///< at 100% BRAM utilization
+    double logic_w = 0.6;    ///< at 100% FF/LUT utilization
+  };
+
+  EnergyModel() : coeffs_() {}
+  explicit EnergyModel(PlPowerCoefficients coeffs) : coeffs_(coeffs) {}
+
+  /// Average PL power for a synthesized configuration.
+  [[nodiscard]] PowerProfile pl_power(const ResourceUsage& usage,
+                                      const DeviceSpec& device) const;
+
+  [[nodiscard]] static PowerProfile cortex_a53() {
+    return {"cortex-a53", 1.5};
+  }
+  [[nodiscard]] static PowerProfile i7_11700() {
+    return {"i7-11700", 20.0};
+  }
+
+  /// Energy report for one platform given its per-walk latency.
+  [[nodiscard]] static EnergyReport report(const PowerProfile& power,
+                                           double ms_per_walk);
+
+ private:
+  PlPowerCoefficients coeffs_;
+};
+
+}  // namespace seqge::fpga

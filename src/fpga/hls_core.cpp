@@ -1,0 +1,131 @@
+#include "fpga/hls_core.hpp"
+
+#include <stdexcept>
+
+namespace seqge::fpga {
+
+HlsCore::HlsCore(const AcceleratorConfig& cfg) : cfg_(cfg), n_(cfg.dims) {
+  cfg_.validate();
+  p_.assign(n_ * n_, CoreFixed{});
+  beta_.assign(cfg_.max_slots() * n_, CoreFixed{});
+  dp_.assign(n_ * n_, CoreFixed{});
+  dbeta_.assign(cfg_.max_slots() * n_, CoreFixed{});
+  h_.assign(n_, CoreFixed{});
+  ph_.assign(n_, CoreFixed{});
+  hp_.assign(n_, CoreFixed{});
+  piht_.assign(n_, CoreFixed{});
+}
+
+void HlsCore::load_p(std::span<const CoreFixed> p) {
+  if (p.size() != n_ * n_) throw std::invalid_argument("load_p: bad size");
+  std::copy(p.begin(), p.end(), p_.begin());
+}
+
+void HlsCore::load_beta_slot(std::size_t slot,
+                             std::span<const CoreFixed> row) {
+  if (slot >= cfg_.max_slots() || row.size() != n_) {
+    throw std::invalid_argument("load_beta_slot: bad slot/size");
+  }
+  std::copy(row.begin(), row.end(), beta_.begin() + slot * n_);
+}
+
+std::span<const CoreFixed> HlsCore::beta_slot(std::size_t slot) const {
+  if (slot >= cfg_.max_slots()) {
+    throw std::out_of_range("beta_slot: bad slot");
+  }
+  return {beta_.data() + slot * n_, n_};
+}
+
+std::span<CoreFixed> HlsCore::beta_mut(std::size_t slot) {
+  return {beta_.data() + slot * n_, n_};
+}
+std::span<CoreFixed> HlsCore::dbeta_mut(std::size_t slot) {
+  return {dbeta_.data() + slot * n_, n_};
+}
+
+double HlsCore::run_walk(std::span<const std::uint32_t> walk_slots,
+                         std::span<const std::uint32_t> negative_slots) {
+  const std::size_t w = cfg_.window;
+  if (walk_slots.size() < w) return 0.0;
+
+  const CoreFixed mu = CoreFixed::from_double(cfg_.mu);
+  const CoreFixed one = CoreFixed::from_double(1.0);
+  double sq_err = 0.0;
+
+  if (cfg_.reset_p_per_walk) {
+    std::fill(p_.begin(), p_.end(), CoreFixed{});
+    const CoreFixed p0 = CoreFixed::from_double(cfg_.p0);
+    for (std::size_t i = 0; i < n_; ++i) p_[i * n_ + i] = p0;
+  }
+  std::fill(dp_.begin(), dp_.end(), CoreFixed{});
+  std::fill(dbeta_.begin(), dbeta_.end(), CoreFixed{});
+
+  for (std::size_t i = 0; i + w <= walk_slots.size(); ++i) {
+    const std::uint32_t center = walk_slots[i];
+    ++contexts_;
+
+    // ---- Stage 1: H = mu * beta[center]; ph = P H^T; hp = H P --------
+    auto bc = beta_mut(center);
+    for (std::size_t d = 0; d < n_; ++d) h_[d] = mu * bc[d];
+    mac_count_ += n_;
+
+    for (std::size_t r = 0; r < n_; ++r) {
+      CoreAcc acc_row;  // ph[r] = sum_c P[r][c] H[c]
+      CoreAcc acc_col;  // hp[r] = sum_c H[c] P[c][r]
+      for (std::size_t c = 0; c < n_; ++c) {
+        acc_row.mac(p_[r * n_ + c], h_[c]);
+        acc_col.mac(h_[c], p_[c * n_ + r]);
+      }
+      ph_[r] = acc_row.result();
+      hp_[r] = acc_col.result();
+    }
+    mac_count_ += 2 * n_ * n_;
+
+    // ---- Stage 2: hph = H P H^T --------------------------------------
+    CoreAcc acc_hph;
+    for (std::size_t d = 0; d < n_; ++d) acc_hph.mac(h_[d], ph_[d]);
+    const CoreFixed hph = acc_hph.result();
+    mac_count_ += n_;
+
+    // ---- Stage 4 scalar: k = 1 / (1 + hph) ---------------------------
+    const CoreFixed k = one / (one + hph);
+
+    // dP -= (ph hp) * k;  piht = ph * k (closed-form P_i H^T).
+    for (std::size_t r = 0; r < n_; ++r) {
+      const CoreFixed phk = ph_[r] * k;
+      for (std::size_t c = 0; c < n_; ++c) {
+        dp_[r * n_ + c] -= phk * hp_[c];
+      }
+      piht_[r] = phk;
+    }
+    mac_count_ += n_ * n_ + n_;
+
+    // ---- Stage 3 + 4: sample errors and deferred beta updates --------
+    auto train_sample = [&](std::uint32_t slot, CoreFixed t) {
+      CoreAcc acc;
+      auto bs = beta_mut(slot);
+      for (std::size_t d = 0; d < n_; ++d) acc.mac(h_[d], bs[d]);
+      const CoreFixed e = t - acc.result();
+      mac_count_ += 2 * n_;
+      auto db = dbeta_mut(slot);
+      for (std::size_t d = 0; d < n_; ++d) db[d] += piht_[d] * e;
+      const double ed = e.to_double();
+      sq_err += ed * ed;
+    };
+    for (std::size_t j = 1; j < w; ++j) {
+      const std::uint32_t pos = walk_slots[i + j];
+      train_sample(pos, one);
+      for (std::uint32_t neg : negative_slots) {
+        if (neg == pos) continue;
+        train_sample(neg, CoreFixed{});
+      }
+    }
+  }
+
+  // ---- Commit (Algorithm 2 lines 19-20) ------------------------------
+  for (std::size_t i = 0; i < p_.size(); ++i) p_[i] += dp_[i];
+  for (std::size_t i = 0; i < beta_.size(); ++i) beta_[i] += dbeta_[i];
+  return sq_err;
+}
+
+}  // namespace seqge::fpga

@@ -1,0 +1,76 @@
+#pragma once
+// Bit-accurate functional model of the PL training core ("Core" in
+// Fig. 4). Executes Algorithm 2 in Q8.24 fixed point (fixed::CoreFixed)
+// with wide accumulators for dot products, mirroring an HLS
+// implementation's DSP48 MAC chains. The host (Accelerator) maps node
+// ids to BRAM slots; the core only sees slot indices, like the real
+// hardware.
+//
+// Stage structure per context (Algorithm 2):
+//   Stage 1: H = mu * beta[center];  ph = P H^T;  hp = H P
+//   Stage 2: outer = ph x hp;        hph = H P H^T
+//   Stage 3: errors e_s = t_s - H . beta[s] for the window's samples
+//   Stage 4: k = 1/(1+hph); dP -= outer*k; dBeta[s] += (ph*k) * e_s
+// After the walk: P += dP; beta[slot] += dBeta[slot].
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fixed/fixed_point.hpp"
+#include "fpga/config.hpp"
+
+namespace seqge::fpga {
+
+using fixed::CoreAcc;
+using fixed::CoreFixed;
+
+class HlsCore {
+ public:
+  explicit HlsCore(const AcceleratorConfig& cfg);
+
+  [[nodiscard]] const AcceleratorConfig& config() const noexcept {
+    return cfg_;
+  }
+
+  // --- BRAM access (host DMA side) --------------------------------------
+  void load_p(std::span<const CoreFixed> p);               // N*N entries
+  [[nodiscard]] std::span<const CoreFixed> p() const noexcept {
+    return p_;
+  }
+  void load_beta_slot(std::size_t slot, std::span<const CoreFixed> row);
+  [[nodiscard]] std::span<const CoreFixed> beta_slot(
+      std::size_t slot) const;
+
+  // --- execution ---------------------------------------------------------
+  /// Run Algorithm 2 over one walk given as slot indices (walk_slots has
+  /// up to walk_length entries; negative_slots has ns entries). Returns
+  /// the summed squared sample error (double, monitoring only).
+  double run_walk(std::span<const std::uint32_t> walk_slots,
+                  std::span<const std::uint32_t> negative_slots);
+
+  /// Fixed-point MAC operations executed so far (feeds the perf model's
+  /// op-count audit).
+  [[nodiscard]] std::uint64_t mac_count() const noexcept {
+    return mac_count_;
+  }
+  [[nodiscard]] std::uint64_t contexts_processed() const noexcept {
+    return contexts_;
+  }
+
+ private:
+  [[nodiscard]] std::span<CoreFixed> beta_mut(std::size_t slot);
+  [[nodiscard]] std::span<CoreFixed> dbeta_mut(std::size_t slot);
+
+  AcceleratorConfig cfg_;
+  std::size_t n_;  // dims
+  std::vector<CoreFixed> p_;        // N x N
+  std::vector<CoreFixed> beta_;     // max_slots x N
+  std::vector<CoreFixed> dp_;       // N x N
+  std::vector<CoreFixed> dbeta_;    // max_slots x N
+  std::vector<CoreFixed> h_, ph_, hp_, piht_;
+  std::uint64_t mac_count_ = 0;
+  std::uint64_t contexts_ = 0;
+};
+
+}  // namespace seqge::fpga

@@ -1,0 +1,57 @@
+#include "fpga/perf_model.hpp"
+
+namespace seqge::fpga {
+
+std::uint64_t PerfModel::context_ops() const noexcept {
+  const std::uint64_t n = cfg_.dims;
+  const std::uint64_t s = cfg_.samples_per_context();
+  return 3 * n * n + 2 * n * s + 3 * n;
+}
+
+std::uint64_t PerfModel::context_cycles() const noexcept {
+  const std::uint64_t lanes = cfg_.parallelism;
+  const std::uint64_t mac_cycles = (context_ops() + lanes - 1) / lanes;
+  return mac_cycles + kContextOverheadCycles;
+}
+
+std::size_t PerfModel::bytes_in() const noexcept {
+  const std::size_t slots = cfg_.max_slots();
+  const std::size_t ids = slots * sizeof(std::uint32_t);
+  const std::size_t beta = slots * cfg_.dims * kWordBytes;
+  const std::size_t p = cfg_.dims * cfg_.dims * kWordBytes;
+  return ids + beta + p;
+}
+
+std::size_t PerfModel::bytes_out() const noexcept {
+  const std::size_t beta = cfg_.max_slots() * cfg_.dims * kWordBytes;
+  const std::size_t p = cfg_.dims * cfg_.dims * kWordBytes;
+  return beta + p;
+}
+
+WalkTiming PerfModel::walk_timing() const noexcept {
+  return walk_timing(cfg_.contexts_per_walk(), cfg_.max_slots());
+}
+
+WalkTiming PerfModel::walk_timing(std::size_t contexts,
+                                  std::size_t slots) const noexcept {
+  WalkTiming t;
+  t.context_cycles = context_cycles();
+  t.total_cycles = t.context_cycles * contexts;
+  t.compute_us =
+      static_cast<double>(t.total_cycles) / cfg_.clock_mhz;  // MHz = c/us
+
+  const std::size_t row_bytes = cfg_.dims * kWordBytes;
+  const std::size_t p_bytes = cfg_.dims * cfg_.dims * kWordBytes;
+  const DmaTransfer in = dma_.transfer(slots * sizeof(std::uint32_t) +
+                                       slots * row_bytes + p_bytes);
+  const DmaTransfer out = dma_.transfer(slots * row_bytes + p_bytes);
+  t.bytes_in = in.bytes;
+  t.bytes_out = out.bytes;
+  t.dma_in_us = in.microseconds;
+  t.dma_out_us = out.microseconds;
+  t.overhead_us = kWalkOverheadUs;
+  t.total_us = t.compute_us + t.dma_in_us + t.dma_out_us + t.overhead_us;
+  return t;
+}
+
+}  // namespace seqge::fpga

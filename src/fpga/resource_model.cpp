@@ -1,0 +1,82 @@
+#include "fpga/resource_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seqge::fpga {
+
+std::optional<ResourceUsage> ResourceModel::calibrated_point(
+    const AcceleratorConfig& cfg) {
+  // Table 6 of the paper (XCZU7EV, Vitis HLS 2022.1, 200 MHz), for the
+  // default walk shape (l=80, w=8, ns=10).
+  struct Point {
+    std::size_t dims, par;
+    ResourceUsage usage;
+  };
+  // BRAM is reported in 36Kb tiles in Table 6 (183/312 = 58.65%).
+  static const Point kPoints[] = {
+      {32, 32, {183, 1379, 48609, 53330, true}},
+      {64, 48, {271, 1552, 77584, 87901, true}},
+      {96, 64, {272, 1573, 86081, 108639, true}},
+  };
+  for (const Point& p : kPoints) {
+    if (cfg.dims == p.dims && cfg.parallelism == p.par &&
+        cfg.walk_length == 80 && cfg.window == 8 &&
+        cfg.negative_samples == 10) {
+      return p.usage;
+    }
+  }
+  return std::nullopt;
+}
+
+ResourceUsage ResourceModel::structural_estimate(
+    const AcceleratorConfig& cfg) const {
+  cfg.validate();
+  const std::size_t n = cfg.dims;
+  const std::size_t par = cfg.parallelism;
+
+  ResourceUsage u;
+
+  // --- DSP: MAC lanes. The paper raises parallelism only *partially*
+  // beyond 32 (Sec. 4.5) — the beta-side stages (sample dots, dbeta)
+  // scale with `par`, the P-side stages stay at 32 lanes. A 32-bit
+  // fixed multiply maps to 4 DSP48E2 (3 partial products + combine);
+  // accumulators use the DSP adder. Plus ~15% for the address/scale
+  // arithmetic HLS leaves in DSPs.
+  const std::size_t lanes = 2 * par + 4 * std::min<std::size_t>(par, 32);
+  u.dsp = static_cast<std::size_t>(static_cast<double>(lanes * 4) * 1.15);
+
+  // --- BRAM36: partition-driven. P and dP are cyclically partitioned
+  // into `par` banks each so a row of MACs reads in one cycle; beta and
+  // dbeta slots likewise. Each partition occupies at least one BRAM18
+  // (half a BRAM36) regardless of depth; capacity only matters beyond
+  // 18Kb per bank.
+  auto banks36 = [](std::size_t partitions, std::size_t words) {
+    const std::size_t bits = words * 32;
+    const std::size_t per_bank_bits =
+        (bits + partitions - 1) / partitions;
+    const std::size_t bram18_per_bank =
+        std::max<std::size_t>(1, (per_bank_bits + 18 * 1024 - 1) / (18 * 1024));
+    return (partitions * bram18_per_bank + 1) / 2;  // 2 BRAM18 = 1 BRAM36
+  };
+  const std::size_t slots = cfg.max_slots();
+  u.bram36 = banks36(par, n * n)        // P
+             + banks36(par, n * n)      // dP
+             + banks36(par, slots * n)  // beta
+             + banks36(par, slots * n)  // dbeta
+             + 8;                       // FIFOs, sample ids, H/ph/hp regs
+
+  // --- FF/LUT: per-lane pipeline registers plus control, fitted order
+  // of magnitude against the Table 6 points.
+  u.ff = lanes * 250 + n * 110 + 9000;
+  u.lut = lanes * 300 + n * 190 + 12000;
+  u.calibrated = false;
+  return u;
+}
+
+ResourceUsage ResourceModel::estimate(const AcceleratorConfig& cfg) const {
+  if (auto cal = calibrated_point(cfg)) return *cal;
+  return structural_estimate(cfg);
+}
+
+}  // namespace seqge::fpga

@@ -1,0 +1,83 @@
+#pragma once
+// FPGA resource-utilization model (reproduces Table 6). Two layers:
+//
+//  * A structural estimator: BRAM18K banks from array partitioning and
+//    capacity, DSP48 slices from MAC lanes (4 DSPs per 32x32 fixed
+//    multiply), FF/LUT from lane registers and control. Use it for
+//    configurations the paper did not synthesize, and for fit checks
+//    (fits_on_device).
+//
+//  * A calibration table for the paper's three synthesized design points
+//    (dims 32/64/96 with parallelism 32/48/64 on XCZU7EV); post-route
+//    resource counts cannot be derived exactly without the vendor
+//    toolchain, so for those configs the model returns the reported
+//    values (flagged `calibrated = true`).
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "fpga/config.hpp"
+
+namespace seqge::fpga {
+
+/// Device capacities. Defaults: Zynq UltraScale+ XCZU7EV (ZCU104) — 312
+/// BRAM36 tiles (11 Mb), 1728 DSP48E2, 460.8k FF, 230.4k LUT.
+struct DeviceSpec {
+  std::string name = "XCZU7EV";
+  std::size_t bram36 = 312;
+  std::size_t dsp = 1728;
+  std::size_t ff = 460800;
+  std::size_t lut = 230400;
+};
+
+struct ResourceUsage {
+  std::size_t bram36 = 0;
+  std::size_t dsp = 0;
+  std::size_t ff = 0;
+  std::size_t lut = 0;
+  bool calibrated = false;  ///< true when from the Table 6 fit points
+
+  [[nodiscard]] double bram_pct(const DeviceSpec& d) const noexcept {
+    return 100.0 * static_cast<double>(bram36) / static_cast<double>(d.bram36);
+  }
+  [[nodiscard]] double dsp_pct(const DeviceSpec& d) const noexcept {
+    return 100.0 * static_cast<double>(dsp) / static_cast<double>(d.dsp);
+  }
+  [[nodiscard]] double ff_pct(const DeviceSpec& d) const noexcept {
+    return 100.0 * static_cast<double>(ff) / static_cast<double>(d.ff);
+  }
+  [[nodiscard]] double lut_pct(const DeviceSpec& d) const noexcept {
+    return 100.0 * static_cast<double>(lut) / static_cast<double>(d.lut);
+  }
+  [[nodiscard]] bool fits(const DeviceSpec& d) const noexcept {
+    return bram36 <= d.bram36 && dsp <= d.dsp && ff <= d.ff && lut <= d.lut;
+  }
+};
+
+class ResourceModel {
+ public:
+  explicit ResourceModel(DeviceSpec device = DeviceSpec{})
+      : device_(std::move(device)) {}
+
+  [[nodiscard]] const DeviceSpec& device() const noexcept { return device_; }
+
+  /// Resource estimate for `cfg`; uses the calibration table when cfg is
+  /// one of the paper's synthesized points, the structural model
+  /// otherwise.
+  [[nodiscard]] ResourceUsage estimate(const AcceleratorConfig& cfg) const;
+
+  /// Pure structural estimate (never calibrated) — exposed for tests and
+  /// for what-if exploration.
+  [[nodiscard]] ResourceUsage structural_estimate(
+      const AcceleratorConfig& cfg) const;
+
+  /// The Table 6 value for cfg if it is a calibrated design point.
+  [[nodiscard]] static std::optional<ResourceUsage> calibrated_point(
+      const AcceleratorConfig& cfg);
+
+ private:
+  DeviceSpec device_;
+};
+
+}  // namespace seqge::fpga

@@ -1,0 +1,36 @@
+#include "graph/components.hpp"
+
+#include <deque>
+
+namespace seqge {
+
+ComponentLabels connected_components(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  constexpr NodeId kUnset = static_cast<NodeId>(-1);
+  ComponentLabels out;
+  out.label.assign(n, kUnset);
+  std::deque<NodeId> queue;
+  for (NodeId s = 0; s < n; ++s) {
+    if (out.label[s] != kUnset) continue;
+    const auto comp = static_cast<NodeId>(out.count++);
+    out.label[s] = comp;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : g.neighbors(u)) {
+        if (out.label[v] == kUnset) {
+          out.label[v] = comp;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t count_components(const Graph& g) {
+  return connected_components(g).count;
+}
+
+}  // namespace seqge

@@ -1,0 +1,68 @@
+#pragma once
+// Union-find and connected-component labeling. Used by the spanning
+// forest builder ("seq" scenario requires the initial forest to have the
+// same number of connected components as the full graph) and by graph
+// generators to report connectivity stats.
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace seqge {
+
+/// Union-find with path halving + union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+
+  NodeId find(NodeId x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if x and y were in different sets (i.e. a merge
+  /// happened).
+  bool unite(NodeId x, NodeId y) noexcept {
+    NodeId rx = find(x);
+    NodeId ry = find(y);
+    if (rx == ry) return false;
+    if (size_[rx] < size_[ry]) std::swap(rx, ry);
+    parent_[ry] = rx;
+    size_[rx] += size_[ry];
+    --num_sets_adjust_;
+    return true;
+  }
+
+  [[nodiscard]] bool connected(NodeId x, NodeId y) noexcept {
+    return find(x) == find(y);
+  }
+
+  [[nodiscard]] std::size_t num_sets() noexcept {
+    return parent_.size() + num_sets_adjust_;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> size_;
+  std::ptrdiff_t num_sets_adjust_ = 0;
+};
+
+struct ComponentLabels {
+  std::vector<NodeId> label;  // per-node component id in [0, count)
+  std::size_t count = 0;
+};
+
+/// Label connected components of an undirected graph (BFS).
+[[nodiscard]] ComponentLabels connected_components(const Graph& g);
+
+/// Number of connected components.
+[[nodiscard]] std::size_t count_components(const Graph& g);
+
+}  // namespace seqge

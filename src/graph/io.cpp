@@ -1,0 +1,80 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace seqge {
+
+void save_labeled_graph(std::ostream& os, const LabeledGraph& g) {
+  os << "# seqge-graph v1 " << g.name << "\n";
+  os << g.graph.num_nodes() << ' ' << g.graph.num_edges() << ' '
+     << g.num_classes << "\n";
+  for (std::size_t i = 0; i < g.labels.size(); ++i) {
+    os << "L " << i << ' ' << g.labels[i] << "\n";
+  }
+  for (const Edge& e : g.graph.edge_list()) {
+    os << "E " << e.src << ' ' << e.dst << ' ' << e.weight << "\n";
+  }
+}
+
+void save_labeled_graph(const std::string& path, const LabeledGraph& g) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_labeled_graph: cannot open " + path);
+  save_labeled_graph(os, g);
+}
+
+LabeledGraph load_labeled_graph(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("# seqge-graph v1", 0) != 0) {
+    throw std::runtime_error("load_labeled_graph: bad header");
+  }
+  LabeledGraph out;
+  {
+    std::istringstream hs(line);
+    std::string hash, tag, ver;
+    hs >> hash >> tag >> ver >> out.name;
+  }
+
+  std::size_t n = 0, m = 0, k = 0;
+  if (!(is >> n >> m >> k)) {
+    throw std::runtime_error("load_labeled_graph: bad size line");
+  }
+  out.num_classes = k;
+  out.labels.assign(n, 0);
+
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  char kind;
+  while (is >> kind) {
+    if (kind == 'L') {
+      std::size_t node;
+      std::uint32_t label;
+      if (!(is >> node >> label) || node >= n) {
+        throw std::runtime_error("load_labeled_graph: bad label line");
+      }
+      out.labels[node] = label;
+    } else if (kind == 'E') {
+      Edge e;
+      if (!(is >> e.src >> e.dst >> e.weight)) {
+        throw std::runtime_error("load_labeled_graph: bad edge line");
+      }
+      edges.push_back(e);
+    } else {
+      throw std::runtime_error("load_labeled_graph: unknown record");
+    }
+  }
+  if (edges.size() != m) {
+    throw std::runtime_error("load_labeled_graph: edge count mismatch");
+  }
+  out.graph = Graph::from_edges(n, edges);
+  return out;
+}
+
+LabeledGraph load_labeled_graph(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_labeled_graph: cannot open " + path);
+  return load_labeled_graph(is);
+}
+
+}  // namespace seqge

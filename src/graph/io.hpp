@@ -1,0 +1,23 @@
+#pragma once
+// Text edge-list I/O for labeled graphs, so generated datasets can be
+// persisted and experiments rerun against identical inputs. Format:
+//
+//   # seqge-graph v1
+//   <num_nodes> <num_edges> <num_classes>
+//   L <node> <label>          (one per node, optional block)
+//   E <src> <dst> <weight>    (one per undirected edge)
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/generators.hpp"
+
+namespace seqge {
+
+void save_labeled_graph(std::ostream& os, const LabeledGraph& g);
+void save_labeled_graph(const std::string& path, const LabeledGraph& g);
+
+[[nodiscard]] LabeledGraph load_labeled_graph(std::istream& is);
+[[nodiscard]] LabeledGraph load_labeled_graph(const std::string& path);
+
+}  // namespace seqge

@@ -1,0 +1,29 @@
+#include "graph/spanning_forest.hpp"
+
+#include <algorithm>
+
+#include "graph/components.hpp"
+
+namespace seqge {
+
+ForestSplit split_spanning_forest(const Graph& g, Rng& rng) {
+  std::vector<Edge> edges = g.edge_list();
+  // Fisher-Yates with our RNG (std::shuffle's distribution is
+  // implementation-defined; we want cross-platform reproducibility).
+  for (std::size_t i = edges.size(); i > 1; --i) {
+    std::swap(edges[i - 1], edges[rng.bounded(i)]);
+  }
+
+  ForestSplit split;
+  UnionFind uf(g.num_nodes());
+  for (const Edge& e : edges) {
+    if (uf.unite(e.src, e.dst)) {
+      split.forest_edges.push_back(e);
+    } else {
+      split.removed_edges.push_back(e);
+    }
+  }
+  return split;
+}
+
+}  // namespace seqge

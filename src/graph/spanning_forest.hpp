@@ -1,0 +1,28 @@
+#pragma once
+// Builds the "seq" scenario's initial graph: a spanning forest of the
+// full graph with exactly the same connected components, plus the list
+// of removed edges to be streamed back in (Sec. 4.3.2: "we remove edges
+// from an entire graph so that the initial graph becomes a forest
+// without changing the number of connected components").
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace seqge {
+
+struct ForestSplit {
+  /// Edges forming the spanning forest (n - #components edges).
+  std::vector<Edge> forest_edges;
+  /// The removed edges, in the randomized order they will be re-inserted.
+  std::vector<Edge> removed_edges;
+};
+
+/// Randomized Kruskal-style split: shuffle the edge list, accept edges
+/// that merge union-find sets into the forest, everything else becomes a
+/// removed edge. The shuffle makes each trial's insertion stream differ,
+/// matching the paper's averaging over three trials.
+[[nodiscard]] ForestSplit split_spanning_forest(const Graph& g, Rng& rng);
+
+}  // namespace seqge

@@ -1,0 +1,43 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/components.hpp"
+
+namespace seqge {
+
+GraphStats compute_stats(const Graph& g) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  s.min_degree = std::numeric_limits<std::size_t>::max();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const std::size_t d = g.degree(u);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+  }
+  if (g.num_nodes() == 0) s.min_degree = 0;
+  s.mean_degree = g.num_nodes() == 0
+                      ? 0.0
+                      : 2.0 * static_cast<double>(g.num_edges()) /
+                            static_cast<double>(g.num_nodes());
+  s.num_components = count_components(g);
+  return s;
+}
+
+GraphStats compute_stats(const LabeledGraph& lg) {
+  GraphStats s = compute_stats(lg.graph);
+  if (!lg.labels.empty() && lg.graph.num_edges() > 0) {
+    std::size_t same = 0;
+    const auto edges = lg.graph.edge_list();
+    for (const Edge& e : edges) {
+      if (lg.labels[e.src] == lg.labels[e.dst]) ++same;
+    }
+    s.label_homophily =
+        static_cast<double>(same) / static_cast<double>(edges.size());
+  }
+  return s;
+}
+
+}  // namespace seqge

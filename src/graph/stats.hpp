@@ -1,0 +1,27 @@
+#pragma once
+// Summary statistics over graphs — used by bench_table1_datasets and by
+// generator tests to validate that synthetic twins match their specs.
+
+#include <cstddef>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace seqge {
+
+struct GraphStats {
+  std::size_t num_nodes = 0;
+  std::size_t num_edges = 0;
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+  std::size_t num_components = 0;
+  /// Fraction of edges whose endpoints share a label (only meaningful
+  /// for labeled graphs; -1 otherwise).
+  double label_homophily = -1.0;
+};
+
+[[nodiscard]] GraphStats compute_stats(const Graph& g);
+[[nodiscard]] GraphStats compute_stats(const LabeledGraph& g);
+
+}  // namespace seqge

@@ -1,0 +1,126 @@
+#pragma once
+// Free-function dense kernels over std::span. These are the complete set
+// of primitives used by the skip-gram/OS-ELM trainers; each is written as
+// a simple auto-vectorizable loop. OpenMP is applied only where the trip
+// count warrants it (matvec over the full vocabulary).
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace seqge {
+
+/// dot(x, y) = sum_i x_i * y_i
+template <typename T>
+[[nodiscard]] T dot(std::span<const T> x, std::span<const T> y) noexcept {
+  assert(x.size() == y.size());
+  T acc{};
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+/// y += a * x
+template <typename T>
+void axpy(T a, std::span<const T> x, std::span<T> y) noexcept {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+/// x *= a
+template <typename T>
+void scale(T a, std::span<T> x) noexcept {
+  for (auto& v : x) v *= a;
+}
+
+/// y = x
+template <typename T>
+void copy(std::span<const T> x, std::span<T> y) noexcept {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i];
+}
+
+/// out = M * v  (M is rows x cols, v has cols entries, out has rows).
+template <typename T>
+void matvec(const Matrix<T>& m, std::span<const T> v,
+            std::span<T> out) noexcept {
+  assert(v.size() == m.cols() && out.size() == m.rows());
+  const std::size_t rows = m.rows();
+#pragma omp parallel for if (rows > 2048) schedule(static)
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = dot(m.row(r), v);
+  }
+}
+
+/// out = M^T * v  (v has rows entries, out has cols).
+template <typename T>
+void matvec_transposed(const Matrix<T>& m, std::span<const T> v,
+                       std::span<T> out) noexcept {
+  assert(v.size() == m.rows() && out.size() == m.cols());
+  for (auto& o : out) o = T{};
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    axpy(v[r], m.row(r), out);
+  }
+}
+
+/// M += a * x * y^T  (rank-1 update; x has rows entries, y has cols).
+template <typename T>
+void rank1_update(Matrix<T>& m, T a, std::span<const T> x,
+                  std::span<const T> y) noexcept {
+  assert(x.size() == m.rows() && y.size() == m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    axpy(a * x[r], y, m.row(r));
+  }
+}
+
+/// ||x||_2
+template <typename T>
+[[nodiscard]] double l2_norm(std::span<const T> x) noexcept {
+  double acc = 0.0;
+  for (auto v : x) acc += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(acc);
+}
+
+/// Frobenius norm of a matrix.
+template <typename T>
+[[nodiscard]] double frobenius_norm(const Matrix<T>& m) noexcept {
+  return l2_norm(m.flat());
+}
+
+/// Numerically-stable logistic sigmoid.
+[[nodiscard]] inline double sigmoid(double x) noexcept {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+/// Max absolute element-wise difference between two equal-shape matrices.
+template <typename T>
+[[nodiscard]] double max_abs_diff(const Matrix<T>& a,
+                                  const Matrix<T>& b) noexcept {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  auto fa = a.flat();
+  auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(fa[i]) -
+                             static_cast<double>(fb[i])));
+  }
+  return m;
+}
+
+/// Cosine similarity between two vectors (0 if either is all-zero).
+template <typename T>
+[[nodiscard]] double cosine_similarity(std::span<const T> x,
+                                       std::span<const T> y) noexcept {
+  const double nx = l2_norm(x);
+  const double ny = l2_norm(y);
+  if (nx == 0.0 || ny == 0.0) return 0.0;
+  return static_cast<double>(dot(x, y)) / (nx * ny);
+}
+
+}  // namespace seqge

@@ -1,0 +1,47 @@
+#include "perfmodel/cpu_model.hpp"
+
+#include <stdexcept>
+
+namespace seqge::perfmodel {
+
+QuadraticLatencyModel QuadraticLatencyModel::fit3(double n0, double t0,
+                                                  double n1, double t1,
+                                                  double n2, double t2) {
+  if (n0 == n1 || n1 == n2 || n0 == n2) {
+    throw std::invalid_argument("fit3: anchors must be distinct");
+  }
+  // Lagrange-to-monomial conversion for the 3-point interpolating
+  // polynomial.
+  const double d0 = (n0 - n1) * (n0 - n2);
+  const double d1 = (n1 - n0) * (n1 - n2);
+  const double d2 = (n2 - n0) * (n2 - n1);
+  const double a0 = t0 / d0, a1 = t1 / d1, a2 = t2 / d2;
+
+  QuadraticLatencyModel m;
+  m.c_[2] = a0 + a1 + a2;
+  m.c_[1] = -(a0 * (n1 + n2) + a1 * (n0 + n2) + a2 * (n0 + n1));
+  m.c_[0] = a0 * n1 * n2 + a1 * n0 * n2 + a2 * n0 * n1;
+  return m;
+}
+
+CpuLatencyModel a53_original_model() {
+  return {"cortex-a53", "original",
+          QuadraticLatencyModel::fit3(32, 35.357, 64, 100.291, 96, 202.175)};
+}
+
+CpuLatencyModel a53_proposed_model() {
+  return {"cortex-a53", "proposed",
+          QuadraticLatencyModel::fit3(32, 18.753, 64, 35.941, 96, 72.612)};
+}
+
+CpuLatencyModel i7_original_model() {
+  return {"i7-11700", "original",
+          QuadraticLatencyModel::fit3(32, 1.309, 64, 2.293, 96, 3.285)};
+}
+
+CpuLatencyModel i7_proposed_model() {
+  return {"i7-11700", "proposed",
+          QuadraticLatencyModel::fit3(32, 0.787, 64, 1.426, 96, 2.396)};
+}
+
+}  // namespace seqge::perfmodel

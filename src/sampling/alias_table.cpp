@@ -1,0 +1,64 @@
+#include "sampling/alias_table.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace seqge {
+
+void AliasTable::build(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: empty weights");
+
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument("AliasTable: weights must be finite >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("AliasTable: all weights are zero");
+  }
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; "small" slots (< 1) are topped up by "large"
+  // ones. Classic two-stack construction.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Remaining slots are exactly 1 up to FP round-off.
+  for (std::uint32_t s : small) prob_[s] = 1.0;
+  for (std::uint32_t l : large) prob_[l] = 1.0;
+}
+
+double AliasTable::probability_of(std::uint32_t i) const noexcept {
+  const double n = static_cast<double>(prob_.size());
+  double p = prob_[i] / n;
+  for (std::size_t s = 0; s < alias_.size(); ++s) {
+    if (alias_[s] == i && prob_[s] < 1.0) p += (1.0 - prob_[s]) / n;
+  }
+  return p;
+}
+
+}  // namespace seqge

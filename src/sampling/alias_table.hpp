@@ -1,0 +1,46 @@
+#pragma once
+// Walker's alias method (Walker 1977, ref [17] of the paper): O(n) build,
+// O(1) sampling from an arbitrary discrete distribution. Used for
+//   * negative sampling over walk-frequency counts (Sec. 3.1),
+//   * degree-propensity endpoint sampling in the DC-SBM generator,
+//   * the per-edge transition tables of the alias-based node2vec walker.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace seqge {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Build from non-negative weights. Zero-weight entries are never
+  /// sampled. Throws std::invalid_argument if all weights are zero or
+  /// any weight is negative/non-finite.
+  explicit AliasTable(std::span<const double> weights) { build(weights); }
+
+  void build(std::span<const double> weights);
+
+  /// Draw an index in [0, size()) with probability proportional to its
+  /// weight.
+  [[nodiscard]] std::uint32_t sample(Rng& rng) const noexcept {
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(rng.bounded(prob_.size()));
+    return rng.uniform() < prob_[slot] ? slot : alias_[slot];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return prob_.empty(); }
+
+  /// Exact sampling probability of index i (for tests / goodness-of-fit).
+  [[nodiscard]] double probability_of(std::uint32_t i) const noexcept;
+
+ private:
+  std::vector<double> prob_;          // acceptance threshold per slot
+  std::vector<std::uint32_t> alias_;  // fallback index per slot
+};
+
+}  // namespace seqge

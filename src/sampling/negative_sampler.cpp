@@ -1,0 +1,32 @@
+#include "sampling/negative_sampler.hpp"
+
+#include <cmath>
+
+namespace seqge {
+
+NegativeSampler::NegativeSampler(std::span<const std::uint64_t> counts,
+                                 double power) {
+  std::vector<double> weights(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double c = counts[i] == 0 ? 1.0 : static_cast<double>(counts[i]);
+    weights[i] = std::pow(c, power);
+  }
+  table_.build(weights);
+}
+
+void NegativeSampler::sample_batch(Rng& rng, std::size_t count,
+                                   std::uint32_t exclude,
+                                   std::vector<std::uint32_t>& out) const {
+  out.clear();
+  out.reserve(count);
+  // Rejection of the excluded node terminates quickly: no node carries
+  // probability mass ~1 unless the graph has a single node; the guard
+  // bounds the loop in that degenerate case.
+  std::size_t guard = 0;
+  while (out.size() < count) {
+    const std::uint32_t v = sample(rng);
+    if (v != exclude || ++guard > 64) out.push_back(v);
+  }
+}
+
+}  // namespace seqge

@@ -1,0 +1,55 @@
+#pragma once
+// Negative sampling for skip-gram training (Mikolov et al., ref [16]).
+// The sampling distribution is the per-node appearance count in the walk
+// corpus raised to the 3/4 power, drawn in O(1) through an alias table.
+// A shared negative batch is pre-drawn once per random walk and reused
+// for every context of that walk — the paper's DRAM<->BRAM traffic
+// reduction trick (Sec. 3.2, following Ji et al. [18]).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sampling/alias_table.hpp"
+#include "util/rng.hpp"
+
+namespace seqge {
+
+class NegativeSampler {
+ public:
+  /// Build from per-node frequency counts (e.g. appearances in the walk
+  /// corpus). `power` is the smoothing exponent (0.75 in word2vec and
+  /// here). Nodes with zero count get a floor of 1 so every node stays
+  /// reachable as a negative.
+  explicit NegativeSampler(std::span<const std::uint64_t> counts,
+                           double power = 0.75);
+
+  /// Convenience: frequency = degree (useful before any walks exist,
+  /// e.g. at the start of the "seq" scenario). GraphT needs num_nodes()
+  /// and degree(u).
+  template <typename GraphT>
+  static NegativeSampler from_degrees(const GraphT& g, double power = 0.75) {
+    std::vector<std::uint64_t> counts(g.num_nodes());
+    for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+      counts[u] = g.degree(u);
+    }
+    return NegativeSampler(counts, power);
+  }
+
+  [[nodiscard]] std::uint32_t sample(Rng& rng) const noexcept {
+    return table_.sample(rng);
+  }
+
+  /// Draw `count` negatives, rejecting `exclude` (the positive node).
+  void sample_batch(Rng& rng, std::size_t count, std::uint32_t exclude,
+                    std::vector<std::uint32_t>& out) const;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return table_.size();
+  }
+
+ private:
+  AliasTable table_;
+};
+
+}  // namespace seqge

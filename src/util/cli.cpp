@@ -1,0 +1,121 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace seqge {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, bool* target,
+                         const std::string& help) {
+  options_.push_back({name, Kind::kFlag, target, help,
+                      *target ? "true" : "false"});
+}
+
+void ArgParser::add_int(const std::string& name, std::int64_t* target,
+                        const std::string& help) {
+  options_.push_back(
+      {name, Kind::kInt, target, help, std::to_string(*target)});
+}
+
+void ArgParser::add_double(const std::string& name, double* target,
+                           const std::string& help) {
+  options_.push_back(
+      {name, Kind::kDouble, target, help, std::to_string(*target)});
+}
+
+void ArgParser::add_string(const std::string& name, std::string* target,
+                           const std::string& help) {
+  options_.push_back({name, Kind::kString, target, help, *target});
+}
+
+ArgParser::Option* ArgParser::find(const std::string& name) {
+  for (auto& opt : options_) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+bool ArgParser::set_value(Option& opt, const std::string& value) {
+  try {
+    switch (opt.kind) {
+      case Kind::kFlag:
+        *static_cast<bool*>(opt.target) =
+            !(value == "false" || value == "0" || value == "no");
+        return true;
+      case Kind::kInt:
+        *static_cast<std::int64_t*>(opt.target) = std::stoll(value);
+        return true;
+      case Kind::kDouble:
+        *static_cast<double*>(opt.target) = std::stod(value);
+        return true;
+      case Kind::kString:
+        *static_cast<std::string*>(opt.target) = value;
+        return true;
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return false;
+}
+
+bool ArgParser::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      have_value = true;
+    }
+    Option* opt = find(name);
+    if (opt == nullptr) {
+      std::fprintf(stderr, "%s: unknown option --%s\n", program_.c_str(),
+                   name.c_str());
+      print_usage();
+      return false;
+    }
+    if (!have_value) {
+      if (opt->kind == Kind::kFlag) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "%s: option --%s requires a value\n",
+                     program_.c_str(), name.c_str());
+        return false;
+      }
+    }
+    if (!set_value(*opt, value)) {
+      std::fprintf(stderr, "%s: bad value '%s' for --%s\n", program_.c_str(),
+                   value.c_str(), name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void ArgParser::print_usage() const {
+  std::fprintf(stderr, "usage: %s [options]\n", program_.c_str());
+  if (!description_.empty()) std::fprintf(stderr, "%s\n", description_.c_str());
+  std::fprintf(stderr, "options:\n");
+  for (const auto& opt : options_) {
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", opt.name.c_str(),
+                 opt.help.c_str(), opt.default_repr.c_str());
+  }
+}
+
+}  // namespace seqge

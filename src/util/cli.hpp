@@ -1,0 +1,59 @@
+#pragma once
+// Tiny declarative CLI argument parser used by benches and examples.
+// Supports --name value, --name=value, and boolean --flag forms, plus
+// automatic --help generation. Unknown flags are an error so typos in
+// experiment sweeps fail loudly instead of silently using defaults.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace seqge {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program, std::string description = "");
+
+  /// Register options. `name` is without leading dashes. All registration
+  /// must happen before parse().
+  void add_flag(const std::string& name, bool* target,
+                const std::string& help);
+  void add_int(const std::string& name, std::int64_t* target,
+               const std::string& help);
+  void add_double(const std::string& name, double* target,
+                  const std::string& help);
+  void add_string(const std::string& name, std::string* target,
+                  const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage) on --help or error.
+  [[nodiscard]] bool parse(int argc, char** argv);
+
+  /// Positional arguments left over after flag parsing.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  void print_usage() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Option {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Option* find(const std::string& name);
+  static bool set_value(Option& opt, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace seqge

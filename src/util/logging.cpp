@@ -1,0 +1,20 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace seqge::log_detail {
+
+LogLevel& threshold() noexcept {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+void emit(LogLevel level, std::string_view msg) {
+  if (static_cast<int>(level) < static_cast<int>(threshold())) return;
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::fprintf(stderr, "[seqge %s] %.*s\n",
+               kNames[static_cast<int>(level)],
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace seqge::log_detail

@@ -1,0 +1,48 @@
+#pragma once
+// Minimal leveled logger. Single global sink (stderr); levels can be
+// silenced for tests/benches. Not thread-registered: concurrent lines may
+// interleave, which is acceptable for a research harness.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace seqge {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+namespace log_detail {
+LogLevel& threshold() noexcept;
+void emit(LogLevel level, std::string_view msg);
+}  // namespace log_detail
+
+/// Set the minimum level that is emitted (default kInfo).
+inline void set_log_level(LogLevel level) noexcept {
+  log_detail::threshold() = level;
+}
+
+/// Stream-style log statement: LogLine(LogLevel::kInfo) << "x=" << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) noexcept : level_(level) {}
+  ~LogLine() { log_detail::emit(level_, ss_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+#define SEQGE_LOG_DEBUG ::seqge::LogLine(::seqge::LogLevel::kDebug)
+#define SEQGE_LOG_INFO ::seqge::LogLine(::seqge::LogLevel::kInfo)
+#define SEQGE_LOG_WARN ::seqge::LogLine(::seqge::LogLevel::kWarn)
+#define SEQGE_LOG_ERROR ::seqge::LogLine(::seqge::LogLevel::kError)
+
+}  // namespace seqge

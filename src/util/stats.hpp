@@ -1,0 +1,54 @@
+#pragma once
+// Small statistics helpers for benchmark reporting (mean/stddev/median of
+// repeated trials) and for accuracy aggregation across seeds.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace seqge {
+
+[[nodiscard]] inline double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+[[nodiscard]] inline double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+[[nodiscard]] inline double median(std::vector<double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  std::nth_element(xs.begin(),
+                   xs.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                   xs.end());
+  return 0.5 * (hi + xs[mid - 1]);
+}
+
+[[nodiscard]] inline double min_of(std::span<const double> xs) noexcept {
+  double m = xs.empty() ? 0.0 : xs[0];
+  for (double x : xs) m = std::min(m, x);
+  return m;
+}
+
+[[nodiscard]] inline double max_of(std::span<const double> xs) noexcept {
+  double m = xs.empty() ? 0.0 : xs[0];
+  for (double x : xs) m = std::max(m, x);
+  return m;
+}
+
+}  // namespace seqge

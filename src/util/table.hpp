@@ -1,0 +1,36 @@
+#pragma once
+// Aligned-column table printer used by the bench harness so each bench
+// prints rows in the same layout as the paper's tables/figure series.
+
+#include <string>
+#include <vector>
+
+namespace seqge {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string fmt(double v, int precision = 3);
+
+  /// Render as an aligned text table (markdown-compatible pipes).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Print to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace seqge

@@ -1,0 +1,60 @@
+#pragma once
+// Wall-clock timing utilities used by the benchmark harness and the
+// trainers' built-in profiling counters.
+
+#include <chrono>
+#include <cstdint>
+
+namespace seqge {
+
+/// Monotonic wall-clock stopwatch with nanosecond resolution.
+class WallTimer {
+ public:
+  WallTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+  [[nodiscard]] double micros() const noexcept { return seconds() * 1e6; }
+  [[nodiscard]] std::uint64_t nanos() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates total time across repeated start/stop sections, e.g. to
+/// attribute trainer time to walk vs update phases.
+class AccumTimer {
+ public:
+  void start() noexcept { t_.reset(); }
+  void stop() noexcept {
+    total_ += t_.seconds();
+    ++count_;
+  }
+  [[nodiscard]] double total_seconds() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean_seconds() const noexcept {
+    return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
+  }
+  void reset() noexcept {
+    total_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  WallTimer t_;
+  double total_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace seqge

@@ -1,0 +1,113 @@
+#include "walk/alias_walker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace seqge {
+
+AliasNode2VecWalker::AliasNode2VecWalker(const Graph& graph,
+                                         Node2VecParams params,
+                                         std::size_t max_table_entries)
+    : graph_(graph), params_(params) {
+  params_.validate();
+  const std::size_t n = graph_.num_nodes();
+
+  // Budget check before allocating anything big.
+  std::size_t entries = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : graph_.neighbors(u)) {
+      entries += graph_.degree(v);
+    }
+  }
+  if (entries > max_table_entries) {
+    throw std::length_error(
+        "AliasNode2VecWalker: per-edge tables would need " +
+        std::to_string(entries) + " entries (budget " +
+        std::to_string(max_table_entries) +
+        "); use the rejection or on-the-fly walker");
+  }
+  table_entries_ = entries;
+
+  arc_offsets_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    arc_offsets_[u + 1] = arc_offsets_[u] + graph_.degree(u);
+  }
+
+  node_tables_.resize(n);
+  std::vector<double> w;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto ws = graph_.weights(u);
+    if (ws.empty()) continue;
+    w.assign(ws.begin(), ws.end());
+    node_tables_[u].build(w);
+  }
+
+  const double inv_p = 1.0 / params_.p;
+  const double inv_q = 1.0 / params_.q;
+  edge_tables_.resize(arc_offsets_[n]);
+  for (NodeId t = 0; t < n; ++t) {
+    const auto t_nbrs = graph_.neighbors(t);
+    for (std::size_t i = 0; i < t_nbrs.size(); ++i) {
+      const NodeId u = t_nbrs[i];
+      const auto u_nbrs = graph_.neighbors(u);
+      const auto u_ws = graph_.weights(u);
+      if (u_nbrs.empty()) continue;
+      w.resize(u_nbrs.size());
+      for (std::size_t j = 0; j < u_nbrs.size(); ++j) {
+        const NodeId x = u_nbrs[j];
+        double alpha;
+        if (x == t) {
+          alpha = inv_p;
+        } else if (graph_.has_edge(t, x)) {
+          alpha = 1.0;
+        } else {
+          alpha = inv_q;
+        }
+        w[j] = u_ws[j] * alpha;
+      }
+      edge_tables_[arc_offsets_[t] + i].build(w);
+    }
+  }
+}
+
+std::size_t AliasNode2VecWalker::arc_index(NodeId prev, NodeId cur) const {
+  const auto nbrs = graph_.neighbors(prev);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), cur);
+  if (it == nbrs.end() || *it != cur) {
+    throw std::invalid_argument("AliasNode2VecWalker: (prev, cur) not an edge");
+  }
+  return arc_offsets_[prev] +
+         static_cast<std::size_t>(it - nbrs.begin());
+}
+
+NodeId AliasNode2VecWalker::biased_step(Rng& rng, NodeId prev,
+                                        NodeId cur) const {
+  const AliasTable& table = edge_tables_[arc_index(prev, cur)];
+  return graph_.neighbors(cur)[table.sample(rng)];
+}
+
+std::vector<NodeId> AliasNode2VecWalker::walk(Rng& rng, NodeId start) const {
+  std::vector<NodeId> out;
+  walk_into(rng, start, out);
+  return out;
+}
+
+void AliasNode2VecWalker::walk_into(Rng& rng, NodeId start,
+                                    std::vector<NodeId>& out) const {
+  out.clear();
+  out.reserve(params_.walk_length);
+  out.push_back(start);
+  if (graph_.degree(start) == 0) return;
+
+  NodeId cur = graph_.neighbors(start)[node_tables_[start].sample(rng)];
+  out.push_back(cur);
+
+  while (out.size() < params_.walk_length) {
+    if (graph_.degree(cur) == 0) break;
+    const NodeId prev = out[out.size() - 2];
+    cur = biased_step(rng, prev, cur);
+    out.push_back(cur);
+  }
+}
+
+}  // namespace seqge

@@ -1,0 +1,62 @@
+#pragma once
+// Fully-preprocessed second-order walker — the strategy of the original
+// node2vec reference implementation: one alias table per *directed edge*
+// (t -> u) over the biased transition distribution out of u. Sampling a
+// step is O(1) with no rejection loop, at the cost of
+// O(sum_u deg(u)^2)-ish preprocessing memory, which is why it only suits
+// static graphs (and explodes on dense ones — the constructor enforces a
+// budget). Completes the strategy triad:
+//
+//   on-the-fly  O(deg)/step   zero memory      dynamic graphs (paper PS)
+//   rejection   O(1) exp.     O(E) memory      static, any density
+//   alias/edge  O(1) exact    O(E*deg) memory  static, sparse
+//
+// All three draw from identical distributions (verified by tests).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sampling/alias_table.hpp"
+#include "util/rng.hpp"
+#include "walk/node2vec_walker.hpp"
+
+namespace seqge {
+
+class AliasNode2VecWalker {
+ public:
+  /// Preprocesses all per-edge tables. Throws std::length_error if the
+  /// total table entries would exceed `max_table_entries` (default 64M
+  /// entries ~ 1 GiB).
+  AliasNode2VecWalker(const Graph& graph, Node2VecParams params,
+                      std::size_t max_table_entries = 64ull << 20);
+
+  [[nodiscard]] const Node2VecParams& params() const noexcept {
+    return params_;
+  }
+
+  [[nodiscard]] std::vector<NodeId> walk(Rng& rng, NodeId start) const;
+  void walk_into(Rng& rng, NodeId start, std::vector<NodeId>& out) const;
+
+  /// One step from `cur` given the directed arc (prev -> cur) used to
+  /// arrive there.
+  [[nodiscard]] NodeId biased_step(Rng& rng, NodeId prev, NodeId cur) const;
+
+  /// Total entries across all per-edge tables (memory introspection).
+  [[nodiscard]] std::size_t table_entries() const noexcept {
+    return table_entries_;
+  }
+
+ private:
+  /// Index of the directed arc prev -> cur in CSR order.
+  [[nodiscard]] std::size_t arc_index(NodeId prev, NodeId cur) const;
+
+  const Graph& graph_;
+  Node2VecParams params_;
+  std::vector<std::size_t> arc_offsets_;   // per node: CSR base
+  std::vector<AliasTable> edge_tables_;    // per directed arc
+  std::vector<AliasTable> node_tables_;    // first step, per node
+  std::size_t table_entries_ = 0;
+};
+
+}  // namespace seqge

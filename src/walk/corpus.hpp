@@ -1,0 +1,120 @@
+#pragma once
+// Walk corpus and context windowing. A single random walk RW of length l
+// is partitioned into sliding windows of `window` consecutive nodes; the
+// first node of each window is the center, the remaining window-1 nodes
+// are its positive samples (Fig. 1's NS(u)). With l = 80 and w = 8 this
+// yields l - w + 1 = 73 contexts per walk — exactly the paper's "73
+// iterations of the outermost loop" (Sec. 4.2).
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "walk/node2vec_walker.hpp"
+
+namespace seqge {
+
+/// One training context: a center node and its positive samples.
+struct WalkContext {
+  NodeId center;
+  std::span<const NodeId> positives;
+};
+
+/// Number of contexts a walk of `walk_len` nodes yields at window `w`.
+[[nodiscard]] constexpr std::size_t num_contexts(std::size_t walk_len,
+                                                 std::size_t w) noexcept {
+  return walk_len >= w ? walk_len - w + 1 : 0;
+}
+
+/// Invoke `fn(context)` for every window of the walk. Walks shorter than
+/// the window produce no contexts.
+template <typename Fn>
+void for_each_context(std::span<const NodeId> walk, std::size_t window,
+                      Fn&& fn) {
+  if (walk.size() < window) return;
+  for (std::size_t i = 0; i + window <= walk.size(); ++i) {
+    WalkContext ctx{walk[i], walk.subspan(i + 1, window - 1)};
+    fn(ctx);
+  }
+}
+
+/// A set of walks plus per-node appearance counts (the negative-sampling
+/// frequency distribution of Sec. 3.1).
+struct WalkCorpus {
+  std::vector<std::vector<NodeId>> walks;
+  std::vector<std::uint64_t> frequency;  // per node, over all walks
+
+  [[nodiscard]] std::size_t total_contexts(std::size_t window) const {
+    std::size_t total = 0;
+    for (const auto& w : walks) total += num_contexts(w.size(), window);
+    return total;
+  }
+};
+
+/// Generate `walks_per_node` walks from every node using one RNG stream
+/// per walk, derived from (seed, round, start): the corpus is identical
+/// for any thread count, and walk generation parallelizes with OpenMP.
+/// Use this on multi-core hosts; generate_corpus below matches the
+/// reference implementation's single-stream behaviour.
+template <typename GraphT>
+[[nodiscard]] WalkCorpus generate_corpus_deterministic(
+    const GraphT& graph, const Node2VecParams& params,
+    std::size_t walks_per_node, std::uint64_t seed) {
+  Node2VecWalker<GraphT> walker(graph, params);
+  const std::size_t n = graph.num_nodes();
+  const std::size_t total = n * walks_per_node;
+
+  WalkCorpus corpus;
+  corpus.frequency.assign(n, 0);
+  corpus.walks.resize(total);
+
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::size_t w = 0; w < total; ++w) {
+    const std::size_t round = w / n;
+    const auto start = static_cast<NodeId>(w % n);
+    SplitMix64 sm(seed ^ (0x9E3779B97F4A7C15ULL * (round + 1)) ^
+                  (0xD1B54A32D192ED03ULL * (start + 1)));
+    Rng walk_rng(sm.next());
+    walker.walk_into(walk_rng, start, corpus.walks[w]);
+  }
+  for (const auto& walk : corpus.walks) {
+    for (NodeId v : walk) ++corpus.frequency[v];
+  }
+  return corpus;
+}
+
+/// Generate `walks_per_node` walks from every node of the graph
+/// (paper: r = 10). Start nodes are visited in shuffled order per round,
+/// as in the reference node2vec implementation.
+template <typename GraphT>
+[[nodiscard]] WalkCorpus generate_corpus(const GraphT& graph,
+                                         const Node2VecParams& params,
+                                         std::size_t walks_per_node,
+                                         Rng& rng) {
+  Node2VecWalker<GraphT> walker(graph, params);
+  const std::size_t n = graph.num_nodes();
+
+  WalkCorpus corpus;
+  corpus.frequency.assign(n, 0);
+  corpus.walks.reserve(n * walks_per_node);
+
+  std::vector<NodeId> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<NodeId>(i);
+
+  for (std::size_t round = 0; round < walks_per_node; ++round) {
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.bounded(i)]);
+    }
+    for (NodeId start : order) {
+      std::vector<NodeId> walk = walker.walk(rng, start);
+      for (NodeId v : walk) ++corpus.frequency[v];
+      corpus.walks.push_back(std::move(walk));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace seqge

@@ -1,0 +1,159 @@
+// Tests for binary model checkpointing: round trips, shape validation,
+// corruption handling, and resumed-training equivalence.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "embedding/checkpoint.hpp"
+#include "embedding/oselm_dataflow.hpp"
+#include "embedding/oselm_skipgram.hpp"
+#include "embedding/skipgram_sgd.hpp"
+#include "linalg/kernels.hpp"
+#include "sampling/negative_sampler.hpp"
+#include "util/rng.hpp"
+
+namespace seqge {
+namespace {
+
+OselmSkipGram trained_model(std::uint64_t seed) {
+  Rng rng(seed);
+  OselmSkipGram::Options opts;
+  opts.dims = 8;
+  OselmSkipGram model(20, opts, rng);
+  const std::vector<std::uint64_t> counts(20, 1);
+  NegativeSampler sampler(counts);
+  std::vector<NodeId> walk = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  for (int i = 0; i < 5; ++i) {
+    model.train_walk(walk, 4, sampler, 3, NegativeMode::kPerContext, rng);
+  }
+  return model;
+}
+
+TEST(Checkpoint, OselmRoundTrip) {
+  OselmSkipGram model = trained_model(1);
+  std::stringstream ss;
+  save_model(ss, model);
+
+  Rng rng(99);
+  OselmSkipGram::Options opts;
+  opts.dims = 8;
+  OselmSkipGram restored(20, opts, rng);
+  load_model(ss, restored);
+
+  EXPECT_DOUBLE_EQ(
+      max_abs_diff(model.beta_transposed(), restored.beta_transposed()),
+      0.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(model.covariance(), restored.covariance()),
+                   0.0);
+}
+
+TEST(Checkpoint, DataflowRoundTrip) {
+  Rng rng(2);
+  OselmSkipGramDataflow::Options opts;
+  opts.dims = 4;
+  OselmSkipGramDataflow model(10, opts, rng);
+  model.train_walk(std::vector<NodeId>{0, 1, 2, 3, 4}, 3,
+                   std::vector<NodeId>{8, 9});
+  std::stringstream ss;
+  save_model(ss, model);
+
+  Rng rng2(3);
+  OselmSkipGramDataflow restored(10, opts, rng2);
+  load_model(ss, restored);
+  EXPECT_DOUBLE_EQ(
+      max_abs_diff(model.beta_transposed(), restored.beta_transposed()),
+      0.0);
+}
+
+TEST(Checkpoint, SgdSavesEmbedding) {
+  Rng rng(4);
+  SkipGramSGD model(12, 6, rng);
+  std::stringstream ss;
+  save_model(ss, model);
+  const CheckpointHeader h = read_checkpoint_header(ss);
+  EXPECT_EQ(h.dims, 6u);
+  EXPECT_EQ(h.rows, 12u);
+  EXPECT_FALSE(h.has_covariance);
+  MatrixF beta;
+  read_checkpoint_payload(ss, h, beta, nullptr);
+  EXPECT_DOUBLE_EQ(max_abs_diff(beta, model.embeddings()), 0.0);
+}
+
+TEST(Checkpoint, ShapeMismatchRejected) {
+  OselmSkipGram model = trained_model(5);
+  std::stringstream ss;
+  save_model(ss, model);
+
+  Rng rng(6);
+  OselmSkipGram::Options opts;
+  opts.dims = 16;  // wrong dims
+  OselmSkipGram wrong(20, opts, rng);
+  EXPECT_THROW(load_model(ss, wrong), std::runtime_error);
+}
+
+TEST(Checkpoint, GarbageRejected) {
+  std::stringstream ss("definitely not a checkpoint");
+  Rng rng(7);
+  OselmSkipGram::Options opts;
+  opts.dims = 8;
+  OselmSkipGram model(20, opts, rng);
+  EXPECT_THROW(load_model(ss, model), std::runtime_error);
+}
+
+TEST(Checkpoint, TruncatedPayloadRejected) {
+  OselmSkipGram model = trained_model(8);
+  std::stringstream ss;
+  save_model(ss, model);
+  std::string blob = ss.str();
+  blob.resize(blob.size() / 2);
+  std::stringstream half(blob);
+  Rng rng(9);
+  OselmSkipGram::Options opts;
+  opts.dims = 8;
+  OselmSkipGram restored(20, opts, rng);
+  EXPECT_THROW(load_model(half, restored), std::runtime_error);
+}
+
+TEST(Checkpoint, ResumedTrainingMatchesUninterrupted) {
+  // Train 4 walks straight vs train 2, checkpoint, restore, train 2 —
+  // identical final state (the paper's power-cycle resilience story).
+  const std::vector<NodeId> walk = {0, 1, 2, 3, 4, 5, 6, 7};
+  const std::vector<std::uint64_t> counts(20, 1);
+  NegativeSampler sampler(counts);
+  OselmSkipGram::Options opts;
+  opts.dims = 8;
+
+  Rng rng_a(11);
+  OselmSkipGram straight(20, opts, rng_a);
+  {
+    Rng step(42);
+    for (int i = 0; i < 4; ++i) {
+      straight.train_walk(walk, 4, sampler, 3, NegativeMode::kPerContext,
+                          step);
+    }
+  }
+
+  Rng rng_b(11);
+  OselmSkipGram first_half(20, opts, rng_b);
+  Rng step(42);
+  for (int i = 0; i < 2; ++i) {
+    first_half.train_walk(walk, 4, sampler, 3, NegativeMode::kPerContext,
+                          step);
+  }
+  std::stringstream ss;
+  save_model(ss, first_half);
+  Rng rng_c(77);
+  OselmSkipGram resumed(20, opts, rng_c);
+  load_model(ss, resumed);
+  for (int i = 0; i < 2; ++i) {
+    resumed.train_walk(walk, 4, sampler, 3, NegativeMode::kPerContext,
+                       step);
+  }
+  EXPECT_DOUBLE_EQ(max_abs_diff(straight.beta_transposed(),
+                                resumed.beta_transposed()),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace seqge

@@ -1,0 +1,176 @@
+// Unit and property tests for the Q-format fixed-point type that the
+// FPGA functional model computes in. The key invariants: round-trip
+// accuracy within one LSB, saturation at the format bounds (never
+// wrap-around), and WideAcc dot products matching a double reference
+// within accumulated rounding error.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fixed/fixed_point.hpp"
+#include "util/rng.hpp"
+
+namespace seqge::fixed {
+namespace {
+
+using F = Fixed<8, 24>;  // the core format
+
+TEST(FixedPoint, RoundTripWithinOneLsb)
+{
+  const double eps = F::epsilon().to_double();
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-100.0, 100.0);
+    EXPECT_NEAR(F::from_double(v).to_double(), v, eps);
+  }
+}
+
+TEST(FixedPoint, ExactValuesRepresentable) {
+  EXPECT_DOUBLE_EQ(F::from_double(1.0).to_double(), 1.0);
+  EXPECT_DOUBLE_EQ(F::from_double(-1.0).to_double(), -1.0);
+  EXPECT_DOUBLE_EQ(F::from_double(0.5).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(F::from_double(0.0).to_double(), 0.0);
+  EXPECT_DOUBLE_EQ(F::from_double(63.25).to_double(), 63.25);
+}
+
+TEST(FixedPoint, SaturatesNotWraps) {
+  const F big = F::from_double(1e9);
+  EXPECT_DOUBLE_EQ(big.to_double(), F::max_value().to_double());
+  const F small = F::from_double(-1e9);
+  EXPECT_DOUBLE_EQ(small.to_double(), F::min_value().to_double());
+
+  // Addition at the rail stays at the rail.
+  const F sum = F::max_value() + F::from_double(1.0);
+  EXPECT_EQ(sum, F::max_value());
+  const F diff = F::min_value() - F::from_double(1.0);
+  EXPECT_EQ(diff, F::min_value());
+}
+
+TEST(FixedPoint, AdditionMatchesDouble) {
+  Rng rng(2);
+  const double eps = 2 * F::epsilon().to_double();
+  for (int i = 0; i < 10000; ++i) {
+    const double a = rng.uniform(-50.0, 50.0);
+    const double b = rng.uniform(-50.0, 50.0);
+    const F fa = F::from_double(a), fb = F::from_double(b);
+    EXPECT_NEAR((fa + fb).to_double(), a + b, 2 * eps);
+    EXPECT_NEAR((fa - fb).to_double(), a - b, 2 * eps);
+  }
+}
+
+TEST(FixedPoint, MultiplicationMatchesDouble) {
+  Rng rng(3);
+  const double eps = F::epsilon().to_double();
+  for (int i = 0; i < 10000; ++i) {
+    const double a = rng.uniform(-10.0, 10.0);
+    const double b = rng.uniform(-10.0, 10.0);
+    const F fa = F::from_double(a), fb = F::from_double(b);
+    // Operand quantization (<= eps/2 each) dominates: |d(ab)| <=
+    // |a|*eps/2 + |b|*eps/2 + eps.
+    const double tol = (std::abs(a) + std::abs(b) + 2.0) * eps;
+    EXPECT_NEAR((fa * fb).to_double(), a * b, tol);
+  }
+}
+
+TEST(FixedPoint, MultiplicationSaturates) {
+  const F a = F::from_double(100.0);
+  EXPECT_EQ(a * a, F::max_value());
+  EXPECT_EQ(a * -a, F::min_value());
+}
+
+TEST(FixedPoint, DivisionMatchesDouble) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.uniform(-10.0, 10.0);
+    double b = rng.uniform(0.5, 10.0);
+    if (rng.bernoulli(0.5)) b = -b;
+    const F q = F::from_double(a) / F::from_double(b);
+    EXPECT_NEAR(q.to_double(), a / b, 1e-5) << a << " / " << b;
+  }
+}
+
+TEST(FixedPoint, DivisionByZeroSaturates) {
+  EXPECT_EQ(F::from_double(1.0) / F::from_double(0.0), F::max_value());
+  EXPECT_EQ(F::from_double(-1.0) / F::from_double(0.0), F::min_value());
+}
+
+TEST(FixedPoint, ReciprocalOfOnePlusSmall) {
+  // The Stage-4 pattern: k = 1 / (1 + hph) with hph >= 0.
+  const F one = F::from_double(1.0);
+  for (double hph : {0.0, 0.001, 0.1, 1.0, 10.0, 100.0}) {
+    const F k = one / (one + F::from_double(hph));
+    EXPECT_NEAR(k.to_double(), 1.0 / (1.0 + hph), 1e-5) << hph;
+  }
+}
+
+TEST(FixedPoint, ComparisonOperators) {
+  const F a = F::from_double(1.5), b = F::from_double(2.5);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, F::from_double(1.5));
+  EXPECT_NE(a, b);
+}
+
+TEST(FixedPoint, NegationSymmetric) {
+  const F a = F::from_double(3.25);
+  EXPECT_DOUBLE_EQ((-a).to_double(), -3.25);
+  // The lone asymmetric case: -min saturates to max.
+  EXPECT_EQ(-F::min_value(), F::max_value());
+}
+
+TEST(WideAcc, DotProductMatchesDouble) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.bounded(128);
+    std::vector<F> xs(n), ys(n);
+    std::vector<double> xd(n), yd(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      xd[i] = rng.uniform(-2.0, 2.0);
+      yd[i] = rng.uniform(-2.0, 2.0);
+      xs[i] = F::from_double(xd[i]);
+      ys[i] = F::from_double(yd[i]);
+    }
+    CoreAcc acc;
+    double ref = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc.mac(xs[i], ys[i]);
+      ref += xd[i] * yd[i];
+    }
+    // Quantization of operands accumulates ~ n * 4 * eps.
+    const double tol =
+        static_cast<double>(n) * 4.0 * F::epsilon().to_double() + 1e-6;
+    EXPECT_NEAR(acc.result().to_double(), ref, tol);
+  }
+}
+
+TEST(WideAcc, DoesNotOverflowIntermediates) {
+  // 1000 terms of 100 * 100 = 1e7 blows past the narrow format's +/-128
+  // range, but the wide accumulator must not wrap; the final narrow
+  // result saturates cleanly.
+  CoreAcc acc;
+  const F hundred = F::from_double(100.0);
+  for (int i = 0; i < 1000; ++i) acc.mac(hundred, hundred);
+  EXPECT_EQ(acc.result(), F::max_value());
+}
+
+TEST(WideAcc, AddAndReset) {
+  CoreAcc acc;
+  acc.add(F::from_double(1.5));
+  acc.add(F::from_double(2.0));
+  EXPECT_NEAR(acc.result().to_double(), 3.5, 1e-6);
+  acc.reset();
+  EXPECT_DOUBLE_EQ(acc.result().to_double(), 0.0);
+}
+
+TEST(FixedPoint, OtherFormatsCompile) {
+  using Q16 = Fixed<16, 16>;
+  EXPECT_NEAR(Q16::from_double(1000.5).to_double(), 1000.5, 1e-4);
+  using Q4 = Fixed<4, 12>;
+  EXPECT_DOUBLE_EQ(Q4::from_double(100.0).to_double(),
+                   Q4::max_value().to_double());
+}
+
+}  // namespace
+}  // namespace seqge::fixed

@@ -1,0 +1,154 @@
+// Tests for Walker's alias method and the negative sampler, including
+// parameterized goodness-of-fit sweeps over distribution shapes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "sampling/alias_table.hpp"
+#include "sampling/negative_sampler.hpp"
+#include "util/rng.hpp"
+
+namespace seqge {
+namespace {
+
+TEST(AliasTable, ExactProbabilitiesSumToOne) {
+  const std::vector<double> w = {1.0, 2.0, 3.0, 4.0};
+  AliasTable t(w);
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < 4; ++i) sum += t.probability_of(i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(t.probability_of(3), 0.4, 1e-12);
+  EXPECT_NEAR(t.probability_of(0), 0.1, 1e-12);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  const std::vector<double> w = {0.0, 1.0, 0.0, 1.0};
+  AliasTable t(w);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto s = t.sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+  EXPECT_NEAR(t.probability_of(0), 0.0, 1e-12);
+}
+
+TEST(AliasTable, SingleElement) {
+  const std::vector<double> w = {5.0};
+  AliasTable t(w);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.sample(rng), 0u);
+}
+
+TEST(AliasTable, ErrorCases) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, inf}),
+               std::invalid_argument);
+}
+
+// Parameterized goodness-of-fit: empirical frequencies must match the
+// requested distribution for uniform, linear, geometric, spiked, and
+// power-law weight shapes.
+class AliasDistributionTest : public ::testing::TestWithParam<int> {};
+
+std::vector<double> make_weights(int shape, std::size_t n) {
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i + 1);
+    switch (shape) {
+      case 0: w[i] = 1.0; break;                       // uniform
+      case 1: w[i] = x; break;                         // linear
+      case 2: w[i] = std::pow(0.7, x); break;          // geometric
+      case 3: w[i] = (i == 0) ? 1000.0 : 1.0; break;   // spiked
+      default: w[i] = std::pow(x, -1.5); break;        // power law
+    }
+  }
+  return w;
+}
+
+TEST_P(AliasDistributionTest, EmpiricalMatchesExpected) {
+  const std::size_t n = 32;
+  const auto w = make_weights(GetParam(), n);
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  AliasTable t(w);
+  Rng rng(123 + GetParam());
+
+  constexpr int kDraws = 400000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[t.sample(rng)];
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double expected = w[i] / total * kDraws;
+    // 5-sigma binomial tolerance.
+    const double sigma =
+        std::sqrt(expected * (1.0 - w[i] / total)) + 1.0;
+    EXPECT_NEAR(counts[i], expected, 5.0 * sigma)
+        << "shape=" << GetParam() << " index=" << i;
+    // probability_of must agree with the construction.
+    EXPECT_NEAR(t.probability_of(static_cast<std::uint32_t>(i)),
+                w[i] / total, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, AliasDistributionTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(NegativeSampler, PowerSmoothingFlattens) {
+  // counts 1 vs 16: raw ratio 16, smoothed (3/4 power) ratio 16^0.75 = 8.
+  const std::vector<std::uint64_t> counts = {1, 16};
+  NegativeSampler s(counts, 0.75);
+  Rng rng(3);
+  int hi = 0;
+  constexpr int kDraws = 90000;
+  for (int i = 0; i < kDraws; ++i) hi += (s.sample(rng) == 1);
+  const double ratio =
+      static_cast<double>(hi) / static_cast<double>(kDraws - hi);
+  EXPECT_NEAR(ratio, 8.0, 0.5);
+}
+
+TEST(NegativeSampler, ZeroCountGetsFloor) {
+  const std::vector<std::uint64_t> counts = {0, 100};
+  NegativeSampler s(counts);
+  Rng rng(4);
+  bool saw_zero = false;
+  for (int i = 0; i < 20000 && !saw_zero; ++i) saw_zero = (s.sample(rng) == 0);
+  EXPECT_TRUE(saw_zero) << "zero-frequency node must stay reachable";
+}
+
+TEST(NegativeSampler, BatchExcludesPositive) {
+  const std::vector<std::uint64_t> counts = {10, 10, 10, 10};
+  NegativeSampler s(counts);
+  Rng rng(5);
+  std::vector<std::uint32_t> batch;
+  for (int trial = 0; trial < 200; ++trial) {
+    s.sample_batch(rng, 8, /*exclude=*/2, batch);
+    EXPECT_EQ(batch.size(), 8u);
+    for (auto v : batch) EXPECT_NE(v, 2u);
+  }
+}
+
+TEST(NegativeSampler, FromDegreesUsesGraphShape) {
+  // A star graph: hub has degree n-1, leaves degree 1 — the hub must be
+  // sampled far more often.
+  struct FakeGraph {
+    std::size_t num_nodes() const { return 9; }
+    std::size_t degree(std::uint32_t u) const { return u == 0 ? 8 : 1; }
+  } g;
+  auto s = NegativeSampler::from_degrees(g);
+  Rng rng(6);
+  int hub = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) hub += (s.sample(rng) == 0);
+  // Smoothed hub share: 8^.75 / (8^.75 + 8*1) = 0.373.
+  EXPECT_NEAR(hub / static_cast<double>(kDraws), 0.373, 0.02);
+}
+
+}  // namespace
+}  // namespace seqge

@@ -1,0 +1,195 @@
+// Unit tests for src/util: RNG determinism and statistical sanity, CLI
+// parsing, table rendering, and stats helpers.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace seqge {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double lo = 1.0, hi = 0.0, sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+  EXPECT_LT(lo, 0.001);
+  EXPECT_GT(hi, 0.999);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(11);
+  std::array<int, 10> counts{};
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = rng.bounded(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 500);  // ~5 sigma for a fair die
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  constexpr int kN = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(19);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += rng.bernoulli(0.3);
+  EXPECT_NEAR(heads / 100000.0, 0.3, 0.01);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const auto a = sm.next();
+  const auto b = sm.next();
+  EXPECT_NE(a, b);
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.next(), a);
+  EXPECT_EQ(sm2.next(), b);
+}
+
+TEST(ArgParser, ParsesAllTypes) {
+  std::int64_t n = 1;
+  double x = 0.5;
+  std::string s = "a";
+  bool flag = false;
+  ArgParser p("prog");
+  p.add_int("n", &n, "int");
+  p.add_double("x", &x, "double");
+  p.add_string("s", &s, "string");
+  p.add_flag("flag", &flag, "flag");
+
+  const char* argv[] = {"prog", "--n", "42", "--x=2.5", "--s", "hello",
+                        "--flag"};
+  ASSERT_TRUE(p.parse(7, const_cast<char**>(argv)));
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(x, 2.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(flag);
+}
+
+TEST(ArgParser, RejectsUnknownOption) {
+  ArgParser p("prog");
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_FALSE(p.parse(3, const_cast<char**>(argv)));
+}
+
+TEST(ArgParser, RejectsBadValue) {
+  std::int64_t n = 0;
+  ArgParser p("prog");
+  p.add_int("n", &n, "int");
+  const char* argv[] = {"prog", "--n", "xyz"};
+  EXPECT_FALSE(p.parse(3, const_cast<char**>(argv)));
+}
+
+TEST(ArgParser, CollectsPositional) {
+  ArgParser p("prog");
+  const char* argv[] = {"prog", "one", "two"};
+  ASSERT_TRUE(p.parse(3, const_cast<char**>(argv)));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "one");
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(s.find("| 333 | 4  |"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"x", "y"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(Stats, MeanStddevMedian) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3, -1, 4};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 4.0);
+}
+
+}  // namespace
+}  // namespace seqge
