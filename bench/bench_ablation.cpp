@@ -6,7 +6,6 @@
 //   5. float vs Q8.24 fixed-point core numerics.
 
 #include "bench/common.hpp"
-#include "fpga/accelerator.hpp"
 #include "walk/node2vec_walker.hpp"
 
 using namespace seqge;
@@ -33,22 +32,22 @@ int main(int argc, char** argv) {
     Table table({"variant", "micro-F1", "train time (s)"});
     struct Variant {
       std::string name;
-      ModelKind kind;
+      std::string backend;
       NegativeMode mode;
       bool reset_p;
     };
     const Variant variants[] = {
-        {"alg1, fresh negatives, P reset", ModelKind::kOselm,
+        {"alg1, fresh negatives, P reset", "oselm",
          NegativeMode::kPerContext, true},
-        {"alg1, shared negatives, P reset", ModelKind::kOselm,
+        {"alg1, shared negatives, P reset", "oselm",
          NegativeMode::kPerWalk, true},
-        {"alg1, fresh negatives, persistent P", ModelKind::kOselm,
+        {"alg1, fresh negatives, persistent P", "oselm",
          NegativeMode::kPerContext, false},
-        {"alg2, shared negatives, P reset", ModelKind::kOselmDataflow,
+        {"alg2, shared negatives, P reset", "oselm-dataflow",
          NegativeMode::kPerWalk, true},
-        {"alg2, shared negatives, persistent P", ModelKind::kOselmDataflow,
+        {"alg2, shared negatives, persistent P", "oselm-dataflow",
          NegativeMode::kPerWalk, false},
-        {"original SGD (reference)", ModelKind::kOriginalSGD,
+        {"original SGD (reference)", "original-sgd",
          NegativeMode::kPerContext, true},
     };
     for (const Variant& v : variants) {
@@ -57,7 +56,7 @@ int main(int argc, char** argv) {
       cfg.negative_mode = v.mode;
       cfg.reset_p_per_walk = v.reset_p;
       Rng rng(cfg.seed);
-      auto model = make_model(v.kind, data.graph.num_nodes(), cfg, rng);
+      auto model = make_backend(v.backend, data.graph.num_nodes(), cfg, rng);
       WallTimer timer;
       train_all(*model, data.graph, cfg, rng);
       const double secs = timer.seconds();
@@ -108,20 +107,8 @@ int main(int argc, char** argv) {
   {
     TrainConfig cfg;
     cfg.dims = static_cast<std::size_t>(dims);
-    const double f_float =
-        train_all_f1(ModelKind::kOselmDataflow, data, cfg, t);
-
-    Rng rng(cfg.seed);
-    fpga::AcceleratorConfig acfg =
-        fpga::AcceleratorConfig::for_dims(cfg.dims);
-    acfg.mu = cfg.mu;
-    acfg.p0 = cfg.p0;
-    fpga::Accelerator accel(data.graph.num_nodes(), acfg, rng);
-    train_all(accel, data.graph, cfg, rng);
-    const double f_fixed =
-        mean_micro_f1(accel.extract_embedding(), data.labels,
-                      data.num_classes, ClassificationConfig{}, t,
-                      cfg.seed);
+    const double f_float = train_all_f1("oselm-dataflow", data, cfg, t);
+    const double f_fixed = train_all_f1("fpga", data, cfg, t);
     Table table({"numerics", "micro-F1"});
     table.add_row({"float32 (Algorithm 2)", Table::fmt(f_float)});
     table.add_row({"Q8.24 fixed point (HLS core)", Table::fmt(f_fixed)});

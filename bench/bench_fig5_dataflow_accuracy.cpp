@@ -6,30 +6,9 @@
 // Amazon graphs.
 
 #include "bench/common.hpp"
-#include "fpga/accelerator.hpp"
 
 using namespace seqge;
 using namespace seqge::bench;
-
-namespace {
-
-double fpga_f1(const LabeledGraph& data, const TrainConfig& cfg,
-               std::size_t trials) {
-  Rng rng(cfg.seed);
-  fpga::AcceleratorConfig acfg = fpga::AcceleratorConfig::for_dims(cfg.dims);
-  acfg.walk_length = cfg.walk.walk_length;
-  acfg.window = cfg.walk.window;
-  acfg.negative_samples = cfg.negative_samples;
-  acfg.mu = cfg.mu;
-  acfg.p0 = cfg.p0;
-  fpga::Accelerator accel(data.graph.num_nodes(), acfg, rng);
-  train_all(accel, data.graph, cfg, rng);
-  return mean_micro_f1(accel.extract_embedding(), data.labels,
-                       data.num_classes, ClassificationConfig{}, trials,
-                       cfg.seed);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   double cora_scale = 0.5, ampt_scale = 0.08, amcp_scale = 0.05;
@@ -63,9 +42,10 @@ int main(int argc, char** argv) {
                "delta (pp)"});
   for (const auto& [id, scale] : runs) {
     const LabeledGraph data = load_twin(id, scale, 1);
-    const double cpu = train_all_f1(ModelKind::kOselm, data, cfg,
-                                    static_cast<std::size_t>(trials));
-    const double fpga = fpga_f1(data, cfg, static_cast<std::size_t>(trials));
+    const double cpu =
+        train_all_f1("oselm", data, cfg, static_cast<std::size_t>(trials));
+    const double fpga =
+        train_all_f1("fpga", data, cfg, static_cast<std::size_t>(trials));
     table.add_row({data.name, Table::fmt(cpu), Table::fmt(fpga),
                    Table::fmt((cpu - fpga) * 100.0, 2)});
   }

@@ -63,14 +63,10 @@ int main(int argc, char** argv) {
       TrainConfig cfg;
       cfg.dims = dims;
       const auto t = static_cast<std::size_t>(trials);
-      const double orig_all =
-          train_all_f1(ModelKind::kOriginalSGD, data, cfg, t);
-      const double prop_all =
-          train_all_f1(ModelKind::kOselmDataflow, data, cfg, t);
-      const double orig_seq =
-          train_seq_f1(ModelKind::kOriginalSGD, data, cfg, t);
-      const double prop_seq =
-          train_seq_f1(ModelKind::kOselmDataflow, data, cfg, t);
+      const double orig_all = train_all_f1("original-sgd", data, cfg, t);
+      const double prop_all = train_all_f1("oselm-dataflow", data, cfg, t);
+      const double orig_seq = train_seq_f1("original-sgd", data, cfg, t);
+      const double prop_seq = train_seq_f1("oselm-dataflow", data, cfg, t);
       table.add_row({data.name, std::to_string(dims),
                      Table::fmt(orig_all), Table::fmt(prop_all),
                      Table::fmt(orig_seq), Table::fmt(prop_seq)});

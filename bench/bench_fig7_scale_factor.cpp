@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     TrainConfig cfg;
     cfg.dims = static_cast<std::size_t>(dims);
     cfg.mu = mu;
-    const double f1 = train_all_f1(ModelKind::kOselm, data, cfg, t);
+    const double f1 = train_all_f1("oselm", data, cfg, t);
     table.add_row({Table::fmt(mu, 3), Table::fmt(f1)});
     std::printf(".");
     std::fflush(stdout);
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
     TrainConfig cfg;
     cfg.dims = static_cast<std::size_t>(dims);
     cfg.random_alpha = true;
-    const double f1 = train_all_f1(ModelKind::kOselm, data, cfg, t);
+    const double f1 = train_all_f1("oselm", data, cfg, t);
     table.add_row({"alpha (random fixed)", Table::fmt(f1)});
   }
   std::printf("\n");

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "embedding/backend_registry.hpp"
 #include "embedding/config.hpp"
 #include "embedding/model.hpp"
 #include "embedding/trainer.hpp"
@@ -43,25 +44,28 @@ inline LabeledGraph load_twin(DatasetId id, double scale,
   return data;
 }
 
-/// Train `kind` on the graph in the "all" scenario and return the mean
-/// micro-F1 over `trials` evaluation trials.
-inline double train_all_f1(ModelKind kind, const LabeledGraph& data,
-                           const TrainConfig& cfg, std::size_t trials) {
+/// Train registry backend `backend` on the graph in the "all" scenario
+/// and return the mean micro-F1 over `trials` evaluation trials.
+inline double train_all_f1(const std::string& backend,
+                           const LabeledGraph& data, const TrainConfig& cfg,
+                           std::size_t trials) {
   Rng rng(cfg.seed);
-  auto model = make_model(kind, data.graph.num_nodes(), cfg, rng);
+  auto model = make_backend(backend, data.graph.num_nodes(), cfg, rng);
   train_all(*model, data.graph, cfg, rng);
   return mean_micro_f1(model->extract_embedding(), data.labels,
                        data.num_classes, ClassificationConfig{}, trials,
                        cfg.seed);
 }
 
-/// Train `kind` in the "seq" scenario (forest + edge stream).
-inline double train_seq_f1(ModelKind kind, const LabeledGraph& data,
-                           const TrainConfig& cfg, std::size_t trials) {
+/// Train registry backend `backend` in the "seq" scenario (forest +
+/// edge stream).
+inline double train_seq_f1(const std::string& backend,
+                           const LabeledGraph& data, const TrainConfig& cfg,
+                           std::size_t trials) {
   Rng rng(cfg.seed);
   SequentialConfig scfg;
   scfg.train = cfg;
-  auto model = make_model(kind, data.graph.num_nodes(), cfg, rng);
+  auto model = make_backend(backend, data.graph.num_nodes(), cfg, rng);
   train_sequential(*model, data.graph, scfg, rng);
   return mean_micro_f1(model->extract_embedding(), data.labels,
                        data.num_classes, ClassificationConfig{}, trials,

@@ -11,8 +11,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
-#include "embedding/oselm_skipgram.hpp"
-#include "embedding/skipgram_sgd.hpp"
+#include "embedding/backend_registry.hpp"
 #include "fpga/perf_model.hpp"
 #include "perfmodel/cpu_model.hpp"
 #include "sampling/negative_sampler.hpp"
@@ -64,27 +63,29 @@ inline int run_speedup_bench(const std::string& artifact,
     SpeedupRow row{};
     row.dims = dims;
 
+    TrainConfig mcfg;
+    mcfg.dims = dims;
+    // Both host models go through the backend registry; timing drives
+    // the same EmbeddingModel interface the trainers use.
     {
       Rng mrng(11);
-      SkipGramSGD orig(n, dims, mrng);
+      auto orig = make_backend("original-sgd", n, mcfg, mrng);
       row.orig_host_ms = time_ms(
           [&] {
             Rng step(13);
-            orig.train_walk(walk, wp.window, sampler, 10,
-                            NegativeMode::kPerContext, step, 0.01);
+            orig->train_walk(walk, wp.window, sampler, 10,
+                             NegativeMode::kPerContext, step);
           },
           static_cast<int>(reps));
     }
     {
       Rng mrng(17);
-      OselmSkipGram::Options opts;
-      opts.dims = dims;
-      OselmSkipGram prop(n, opts, mrng);
+      auto prop = make_backend("oselm", n, mcfg, mrng);
       row.prop_host_ms = time_ms(
           [&] {
             Rng step(13);
-            prop.train_walk(walk, wp.window, sampler, 10,
-                            NegativeMode::kPerContext, step);
+            prop->train_walk(walk, wp.window, sampler, 10,
+                             NegativeMode::kPerContext, step);
           },
           static_cast<int>(reps));
     }

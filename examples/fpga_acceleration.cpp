@@ -9,8 +9,9 @@
 //   ./examples/fpga_acceleration [--dims 32] [--scale 0.2]
 
 #include <cstdio>
+#include <stdexcept>
 
-#include "embedding/model.hpp"
+#include "embedding/backend_registry.hpp"
 #include "embedding/trainer.hpp"
 #include "eval/node_classification.hpp"
 #include "fpga/accelerator.hpp"
@@ -24,11 +25,13 @@ using namespace seqge;
 
 int main(int argc, char** argv) {
   double scale = 0.2;
-  std::int64_t dims = 32, seed = 42;
+  std::int64_t dims = 32, seed = 42, threads = 0;
   ArgParser args("fpga_acceleration",
                  "simulated ZCU104 accelerator walkthrough");
   args.add_double("scale", &scale, "cora twin scale factor");
   args.add_int("dims", &dims, "embedding dimensions (32/64/96 calibrated)");
+  args.add_int("threads", &threads,
+               "walker threads for the training pipeline (0 = inline)");
   args.add_int("seed", &seed, "random seed");
   if (!args.parse(argc, argv)) return 1;
 
@@ -41,32 +44,34 @@ int main(int argc, char** argv) {
   cfg.dims = static_cast<std::size_t>(dims);
   cfg.seed = static_cast<std::uint64_t>(seed);
 
+  PipelineConfig pipe;
+  pipe.walker_threads = static_cast<std::size_t>(threads);
+
   // --- CPU reference (float Algorithm 2) ------------------------------
   Rng rng_cpu(cfg.seed);
-  auto cpu = make_model(ModelKind::kOselmDataflow, data.graph.num_nodes(),
-                        cfg, rng_cpu);
-  train_all(*cpu, data.graph, cfg, rng_cpu);
+  auto cpu =
+      make_backend("oselm-dataflow", data.graph.num_nodes(), cfg, rng_cpu);
+  train_all(*cpu, data.graph, cfg, rng_cpu, pipe);
   const double f1_cpu =
       mean_micro_f1(cpu->extract_embedding(), data.labels,
                     data.num_classes, ClassificationConfig{}, 3, cfg.seed);
 
   // --- Simulated accelerator ------------------------------------------
   Rng rng_fpga(cfg.seed);
-  fpga::AcceleratorConfig acfg =
-      fpga::AcceleratorConfig::for_dims(cfg.dims);
-  acfg.mu = cfg.mu;
-  acfg.p0 = cfg.p0;
-  fpga::Accelerator accel(data.graph.num_nodes(), acfg, rng_fpga);
-  const TrainStats stats = train_all(accel, data.graph, cfg, rng_fpga);
+  auto fpga_model =
+      make_backend("fpga", data.graph.num_nodes(), cfg, rng_fpga);
+  const auto& accel = dynamic_cast<const fpga::Accelerator&>(*fpga_model);
+  const TrainStats stats =
+      train_all(*fpga_model, data.graph, cfg, rng_fpga, pipe);
   const double f1_fpga =
-      mean_micro_f1(accel.extract_embedding(), data.labels,
+      mean_micro_f1(fpga_model->extract_embedding(), data.labels,
                     data.num_classes, ClassificationConfig{}, 3, cfg.seed);
 
   // --- Per-walk latency breakdown --------------------------------------
-  const fpga::PerfModel pm(acfg);
+  const fpga::PerfModel pm(accel.config());
   const fpga::WalkTiming t = pm.walk_timing();
   std::printf("per-walk latency @ %.0f MHz, parallelism %zu:\n",
-              acfg.clock_mhz, acfg.parallelism);
+              accel.config().clock_mhz, accel.config().parallelism);
   Table lat({"phase", "microseconds", "bytes"});
   lat.add_row({"DMA in (ids + beta rows + P)", Table::fmt(t.dma_in_us, 1),
                std::to_string(t.bytes_in)});
@@ -93,7 +98,7 @@ int main(int argc, char** argv) {
 
   // --- Resource report ---------------------------------------------------
   const fpga::ResourceModel rm;
-  const auto usage = rm.estimate(acfg);
+  const auto usage = rm.estimate(accel.config());
   const auto& dev = rm.device();
   std::printf("\nresources on %s (%s):\n", dev.name.c_str(),
               usage.calibrated ? "calibrated point" : "structural estimate");

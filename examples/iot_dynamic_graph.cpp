@@ -13,7 +13,7 @@
 
 #include <cstdio>
 
-#include "embedding/model.hpp"
+#include "embedding/backend_registry.hpp"
 #include "embedding/trainer.hpp"
 #include "eval/node_classification.hpp"
 #include "fpga/perf_model.hpp"
@@ -28,13 +28,15 @@
 using namespace seqge;
 
 int main(int argc, char** argv) {
-  std::string dataset = "cora";
+  std::string dataset = "cora", model_name = "oselm";
   double scale = 0.3;
   std::int64_t dims = 32, checkpoints = 6, seed = 42;
   ArgParser args("iot_dynamic_graph",
                  "sequential training on a growing graph with accuracy "
                  "checkpoints");
-  args.add_string("dataset", &dataset, "cora | ampt | amcp");
+  args.add_choice("dataset", &dataset, {"cora", "ampt", "amcp"},
+                  "dataset twin");
+  args.add_choice("model", &model_name, backend_names(), "training backend");
   args.add_double("scale", &scale, "dataset scale factor");
   args.add_int("dims", &dims, "embedding dimensions");
   args.add_int("checkpoints", &checkpoints, "number of accuracy checkpoints");
@@ -53,8 +55,7 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(seed);
 
   Rng rng(cfg.seed);
-  auto model =
-      make_model(ModelKind::kOselm, data.graph.num_nodes(), cfg, rng);
+  auto model = make_backend(model_name, data.graph.num_nodes(), cfg, rng);
 
   // Forest start, as in Sec. 4.3.2.
   ForestSplit split = split_spanning_forest(data.graph, rng);

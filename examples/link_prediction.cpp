@@ -11,7 +11,7 @@
 
 #include <cstdio>
 
-#include "embedding/model.hpp"
+#include "embedding/backend_registry.hpp"
 #include "embedding/trainer.hpp"
 #include "eval/link_prediction.hpp"
 #include "graph/datasets.hpp"
@@ -24,13 +24,17 @@
 using namespace seqge;
 
 int main(int argc, char** argv) {
-  std::string dataset = "cora";
+  std::string dataset = "cora", model_name = "oselm";
   double scale = 0.4, holdout = 0.2;
-  std::int64_t dims = 32, seed = 42;
+  std::int64_t dims = 32, seed = 42, threads = 0;
   bool update = false;
   ArgParser args("link_prediction",
                  "held-out edge prediction with the sequential model");
-  args.add_string("dataset", &dataset, "cora | ampt | amcp");
+  args.add_choice("dataset", &dataset, {"cora", "ampt", "amcp"},
+                  "dataset twin");
+  args.add_choice("model", &model_name, backend_names(), "training backend");
+  args.add_int("threads", &threads,
+               "walker threads for the training pipeline (0 = inline)");
   args.add_double("scale", &scale, "dataset scale factor");
   args.add_double("holdout", &holdout, "fraction of edges held out");
   args.add_int("dims", &dims, "embedding dimensions");
@@ -62,13 +66,14 @@ int main(int argc, char** argv) {
   std::printf("observed %zu edges, held out %zu\n", observed.size(),
               held.size());
 
-  // Train the proposed model on the observed graph.
+  // Train the chosen backend on the observed graph.
   TrainConfig cfg;
   cfg.dims = static_cast<std::size_t>(dims);
   cfg.seed = static_cast<std::uint64_t>(seed);
-  auto model =
-      make_model(ModelKind::kOselm, data.graph.num_nodes(), cfg, rng);
-  train_all(*model, observed_graph, cfg, rng);
+  auto model = make_backend(model_name, data.graph.num_nodes(), cfg, rng);
+  PipelineConfig pipe;
+  pipe.walker_threads = static_cast<std::size_t>(threads);
+  train_all(*model, observed_graph, cfg, rng, pipe);
 
   Table table({"stage", "AUC (dot)", "AUC (cosine)"});
   auto auc_row = [&](const std::string& stage, const Graph& g,

@@ -4,11 +4,11 @@
 // protocol, exposed as a CLI.
 //
 //   ./examples/node_classification --dataset ampt --scale 0.1 \
-//       --model oselm --dims 64 --trials 3
+//       --model oselm --dims 64 --trials 3 --threads 4
 
 #include <cstdio>
 
-#include "embedding/model.hpp"
+#include "embedding/backend_registry.hpp"
 #include "embedding/trainer.hpp"
 #include "eval/node_classification.hpp"
 #include "graph/datasets.hpp"
@@ -21,32 +21,24 @@ using namespace seqge;
 int main(int argc, char** argv) {
   std::string dataset = "cora", model_name = "oselm", scenario = "all";
   double scale = 0.25, mu = TrainConfig{}.mu, p0 = TrainConfig{}.p0;
-  std::int64_t dims = 32, walks = 10, trials = 3, seed = 42;
+  std::int64_t dims = 32, walks = 10, trials = 3, seed = 42, threads = 0;
   ArgParser args("node_classification",
                  "embedding + one-vs-rest logistic regression (Sec. 4.3)");
-  args.add_string("dataset", &dataset, "cora | ampt | amcp");
-  args.add_string("model", &model_name, "sgd | oselm | dataflow");
-  args.add_string("scenario", &scenario, "all | seq");
+  args.add_choice("dataset", &dataset, {"cora", "ampt", "amcp"},
+                  "dataset twin");
+  args.add_choice("model", &model_name, backend_names(), "training backend");
+  args.add_choice("scenario", &scenario, {"all", "seq"},
+                  "static batch training or forest + edge stream");
   args.add_double("scale", &scale, "dataset scale factor");
   args.add_int("dims", &dims, "embedding dimensions");
   args.add_int("walks-per-node", &walks, "random walks per node (r)");
   args.add_int("trials", &trials, "evaluation trials to average");
+  args.add_int("threads", &threads,
+               "walker threads for the training pipeline (0 = inline)");
   args.add_double("mu", &mu, "OS-ELM scale factor");
   args.add_double("p0", &p0, "OS-ELM initial P diagonal");
   args.add_int("seed", &seed, "random seed");
   if (!args.parse(argc, argv)) return 1;
-
-  ModelKind kind;
-  if (model_name == "sgd") {
-    kind = ModelKind::kOriginalSGD;
-  } else if (model_name == "oselm") {
-    kind = ModelKind::kOselm;
-  } else if (model_name == "dataflow") {
-    kind = ModelKind::kOselmDataflow;
-  } else {
-    std::fprintf(stderr, "unknown --model %s\n", model_name.c_str());
-    return 1;
-  }
 
   const LabeledGraph data =
       make_dataset(dataset_from_name(dataset),
@@ -65,18 +57,22 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(seed);
 
   Rng rng(cfg.seed);
-  auto model = make_model(kind, data.graph.num_nodes(), cfg, rng);
+  auto model = make_backend(model_name, data.graph.num_nodes(), cfg, rng);
+
+  PipelineConfig pipe;
+  pipe.walker_threads = static_cast<std::size_t>(threads);
 
   TrainStats tstats;
   if (scenario == "seq") {
     SequentialConfig scfg;
     scfg.train = cfg;
+    scfg.pipeline = pipe;
     const SequentialResult r = train_sequential(*model, data.graph, scfg, rng);
     tstats = r.stats;
     std::printf("seq: forest %zu edges, %zu insertions\n", r.forest_edges,
                 r.insertions);
   } else {
-    tstats = train_all(*model, data.graph, cfg, rng);
+    tstats = train_all(*model, data.graph, cfg, rng, pipe);
   }
   std::printf(
       "trained %s: %zu walks, %zu contexts, walk %.2fs + train %.2fs\n",

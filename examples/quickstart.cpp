@@ -1,15 +1,16 @@
-// Quickstart: train a graph embedding on Zachary's karate club with the
-// original SGD skip-gram, the proposed OS-ELM model (Algorithm 1), its
-// dataflow variant (Algorithm 2), and the simulated FPGA accelerator;
-// score each with the paper's downstream task (one-vs-rest logistic
-// regression, micro-F1) and show nearest neighbors in embedding space.
+// Quickstart: train a graph embedding on Zachary's karate club with
+// every backend in the registry — the original SGD skip-gram, the
+// proposed OS-ELM model (Algorithm 1), its dataflow variant
+// (Algorithm 2), and the simulated FPGA accelerator; score each with
+// the paper's downstream task (one-vs-rest logistic regression,
+// micro-F1) and show nearest neighbors in embedding space.
 //
-//   ./examples/quickstart [--dims 16] [--walks-per-node 10] [--seed 42]
+//   ./examples/quickstart [--dims 16] [--walks-per-node 10] [--threads 4]
 
 #include <cstdio>
 #include <vector>
 
-#include "embedding/model.hpp"
+#include "embedding/backend_registry.hpp"
 #include "embedding/trainer.hpp"
 #include "eval/node_classification.hpp"
 #include "fpga/accelerator.hpp"
@@ -23,8 +24,9 @@ using namespace seqge;
 namespace {
 
 double train_and_score(EmbeddingModel& model, const LabeledGraph& data,
-                       const TrainConfig& cfg, Rng& rng) {
-  train_all(model, data.graph, cfg, rng);
+                       const TrainConfig& cfg, Rng& rng,
+                       const PipelineConfig& pipe) {
+  train_all(model, data.graph, cfg, rng, pipe);
   const MatrixF emb = model.extract_embedding();
   return mean_micro_f1(emb, data.labels, data.num_classes,
                        ClassificationConfig{}, /*trials=*/3, cfg.seed);
@@ -47,10 +49,12 @@ void print_neighbors(const MatrixF& emb, NodeId node, std::size_t k) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::int64_t dims = 16, walks = 10, seed = 42;
+  std::int64_t dims = 16, walks = 10, seed = 42, threads = 0;
   ArgParser args("quickstart", "seqge quickstart on the karate club graph");
   args.add_int("dims", &dims, "embedding dimensions");
   args.add_int("walks-per-node", &walks, "random walks per node (r)");
+  args.add_int("threads", &threads,
+               "walker threads for the training pipeline (0 = inline)");
   args.add_int("seed", &seed, "random seed");
   if (!args.parse(argc, argv)) return 1;
 
@@ -65,30 +69,23 @@ int main(int argc, char** argv) {
   cfg.walk.walk_length = 40;  // small graph; shorter walks suffice
   cfg.seed = static_cast<std::uint64_t>(seed);
 
-  Table table({"model", "micro-F1"});
+  PipelineConfig pipe;
+  pipe.walker_threads = static_cast<std::size_t>(threads);
+
+  Table table({"backend", "model", "micro-F1"});
   MatrixF oselm_embedding;
 
-  for (ModelKind kind : {ModelKind::kOriginalSGD, ModelKind::kOselm,
-                         ModelKind::kOselmDataflow}) {
+  for (const std::string& backend : backend_names()) {
     Rng rng(cfg.seed);
-    auto model = make_model(kind, data.graph.num_nodes(), cfg, rng);
-    const double f1 = train_and_score(*model, data, cfg, rng);
-    table.add_row({model->name(), Table::fmt(f1)});
-    if (kind == ModelKind::kOselm) oselm_embedding = model->extract_embedding();
-  }
-
-  {
-    Rng rng(cfg.seed);
-    fpga::AcceleratorConfig acfg = fpga::AcceleratorConfig::for_dims(cfg.dims);
-    acfg.walk_length = cfg.walk.walk_length;
-    acfg.mu = cfg.mu;
-    acfg.p0 = cfg.p0;
-    fpga::Accelerator accel(data.graph.num_nodes(), acfg, rng);
-    const double f1 = train_and_score(accel, data, cfg, rng);
-    table.add_row({accel.name(), Table::fmt(f1)});
-    std::printf("fpga simulated training time: %.3f ms (%llu walks)\n",
-                accel.simulated_seconds() * 1e3,
-                static_cast<unsigned long long>(accel.walks_processed()));
+    auto model = make_backend(backend, data.graph.num_nodes(), cfg, rng);
+    const double f1 = train_and_score(*model, data, cfg, rng, pipe);
+    table.add_row({backend, model->name(), Table::fmt(f1)});
+    if (backend == "oselm") oselm_embedding = model->extract_embedding();
+    if (const auto* accel = dynamic_cast<fpga::Accelerator*>(model.get())) {
+      std::printf("fpga simulated training time: %.3f ms (%llu walks)\n",
+                  accel->simulated_seconds() * 1e3,
+                  static_cast<unsigned long long>(accel->walks_processed()));
+    }
   }
 
   table.print();

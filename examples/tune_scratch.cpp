@@ -2,7 +2,7 @@
 // moderate scale (Fig. 6 shape exploration).
 #include <cstdio>
 
-#include "embedding/model.hpp"
+#include "embedding/backend_registry.hpp"
 #include "embedding/trainer.hpp"
 #include "eval/node_classification.hpp"
 #include "graph/datasets.hpp"
@@ -40,11 +40,11 @@ int main(int argc, char** argv) {
                          data.num_classes, ClassificationConfig{}, 3, 1);
   };
 
-  for (ModelKind kind : {ModelKind::kOriginalSGD, ModelKind::kOselm,
-                         ModelKind::kOselmDataflow}) {
+  for (const std::string& backend :
+       {"original-sgd", "oselm", "oselm-dataflow"}) {
     {
       Rng rng(cfg.seed);
-      auto m = make_model(kind, data.graph.num_nodes(), cfg, rng);
+      auto m = make_backend(backend, data.graph.num_nodes(), cfg, rng);
       train_all(*m, data.graph, cfg, rng);
       std::printf("%-14s all  F1=%.3f\n", m->name().c_str(), score(*m));
       std::fflush(stdout);
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
       Rng rng(cfg.seed);
       SequentialConfig scfg;
       scfg.train = cfg;
-      auto m = make_model(kind, data.graph.num_nodes(), cfg, rng);
+      auto m = make_backend(backend, data.graph.num_nodes(), cfg, rng);
       train_sequential(*m, data.graph, scfg, rng);
       std::printf("%-14s seq  F1=%.3f\n", m->name().c_str(), score(*m));
       std::fflush(stdout);

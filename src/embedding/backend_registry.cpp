@@ -1,0 +1,121 @@
+#include "embedding/backend_registry.hpp"
+
+#include <stdexcept>
+
+#include "fpga/accelerator.hpp"
+#include "fpga/config.hpp"
+
+namespace seqge {
+
+namespace {
+
+/// Map the shared TrainConfig onto the PL-side accelerator knobs; the
+/// parallelism follows the paper's dims -> lanes table (Sec. 4.5).
+fpga::AcceleratorConfig accelerator_config_from(const TrainConfig& cfg) {
+  fpga::AcceleratorConfig acfg = fpga::AcceleratorConfig::for_dims(cfg.dims);
+  acfg.walk_length = cfg.walk.walk_length;
+  acfg.window = cfg.walk.window;
+  acfg.negative_samples = cfg.negative_samples;
+  acfg.mu = cfg.mu;
+  acfg.p0 = cfg.p0;
+  acfg.reset_p_per_walk = cfg.reset_p_per_walk;
+  return acfg;
+}
+
+}  // namespace
+
+BackendRegistry::BackendRegistry() {
+  add("original-sgd",
+      "skip-gram + negative sampling + SGD (baseline, Fig. 2-left)",
+      [](std::size_t n, const TrainConfig& cfg, Rng& rng) {
+        return make_model(ModelKind::kOriginalSGD, n, cfg, rng);
+      });
+  add("oselm", "proposed OS-ELM model, Algorithm 1",
+      [](std::size_t n, const TrainConfig& cfg, Rng& rng) {
+        return make_model(ModelKind::kOselm, n, cfg, rng);
+      });
+  add("oselm-dataflow",
+      "proposed OS-ELM model, Algorithm 2 (the FPGA dataflow variant)",
+      [](std::size_t n, const TrainConfig& cfg, Rng& rng) {
+        return make_model(ModelKind::kOselmDataflow, n, cfg, rng);
+      });
+  add("fpga",
+      "simulated ZCU104 accelerator: bit-accurate Q8.24 core + "
+      "calibrated cycle/DMA model (Fig. 4)",
+      [](std::size_t n, const TrainConfig& cfg, Rng& rng) {
+        cfg.validate();
+        return std::make_unique<fpga::Accelerator>(
+            n, accelerator_config_from(cfg), rng);
+      });
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::add(std::string name, std::string description,
+                          BackendFactory factory) {
+  for (Entry& e : entries_) {
+    if (e.name == name) {
+      e.description = std::move(description);
+      e.factory = std::move(factory);
+      return;
+    }
+  }
+  entries_.push_back(
+      {std::move(name), std::move(description), std::move(factory)});
+}
+
+const BackendRegistry::Entry* BackendRegistry::find(
+    const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+bool BackendRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+std::unique_ptr<EmbeddingModel> BackendRegistry::create(
+    const std::string& name, std::size_t num_nodes, const TrainConfig& cfg,
+    Rng& rng) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) {
+    std::string known;
+    for (const Entry& e : entries_) {
+      if (!known.empty()) known += ", ";
+      known += e.name;
+    }
+    throw std::invalid_argument("unknown backend '" + name +
+                                "' (available: " + known + ")");
+  }
+  return entry->factory(num_nodes, cfg, rng);
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::string BackendRegistry::describe(const std::string& name) const {
+  const Entry* entry = find(name);
+  return entry != nullptr ? entry->description : "";
+}
+
+std::unique_ptr<EmbeddingModel> make_backend(const std::string& name,
+                                             std::size_t num_nodes,
+                                             const TrainConfig& cfg,
+                                             Rng& rng) {
+  return BackendRegistry::instance().create(name, num_nodes, cfg, rng);
+}
+
+std::vector<std::string> backend_names() {
+  return BackendRegistry::instance().names();
+}
+
+}  // namespace seqge

@@ -1,0 +1,78 @@
+#pragma once
+// Unified, string-keyed factory for every training backend: the three
+// CPU models (original SGD skip-gram, OS-ELM Algorithm 1, OS-ELM
+// dataflow Algorithm 2) AND the simulated FPGA accelerator, which used
+// to be constructed through a separate src/fpga path. Examples and
+// benches select a backend with `--model <name>`; nothing outside this
+// registry (and its tests) should call make_model or build an
+// fpga::Accelerator directly.
+//
+// Built-in names:
+//   original-sgd    word2vec-style skip-gram + negative sampling + SGD
+//   oselm           proposed OS-ELM model, Algorithm 1
+//   oselm-dataflow  proposed OS-ELM model, Algorithm 2 (FPGA algorithm)
+//   fpga            bit-accurate Q8.24 accelerator simulation (Fig. 4)
+//
+// The registry is open: call BackendRegistry::instance().add(...) to
+// plug in additional backends (sharded, cached, remote, ...) without
+// touching any call site.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "embedding/config.hpp"
+#include "embedding/model.hpp"
+#include "util/rng.hpp"
+
+namespace seqge {
+
+using BackendFactory = std::function<std::unique_ptr<EmbeddingModel>(
+    std::size_t num_nodes, const TrainConfig& cfg, Rng& rng)>;
+
+class BackendRegistry {
+ public:
+  /// The process-wide registry, pre-populated with the built-ins.
+  static BackendRegistry& instance();
+
+  /// Register `name`. Re-registering an existing name replaces its
+  /// factory (useful for tests injecting doubles).
+  void add(std::string name, std::string description, BackendFactory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Construct a backend; throws std::invalid_argument for unknown
+  /// names (message lists what is available).
+  [[nodiscard]] std::unique_ptr<EmbeddingModel> create(
+      const std::string& name, std::size_t num_nodes, const TrainConfig& cfg,
+      Rng& rng) const;
+
+  /// Backend names in registration order (stable across calls).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// One-line description per backend, for --help text.
+  [[nodiscard]] std::string describe(const std::string& name) const;
+
+ private:
+  BackendRegistry();  // registers the built-ins
+
+  struct Entry {
+    std::string name;
+    std::string description;
+    BackendFactory factory;
+  };
+  [[nodiscard]] const Entry* find(const std::string& name) const;
+
+  std::vector<Entry> entries_;
+};
+
+/// Shorthand for BackendRegistry::instance().create(...).
+[[nodiscard]] std::unique_ptr<EmbeddingModel> make_backend(
+    const std::string& name, std::size_t num_nodes, const TrainConfig& cfg,
+    Rng& rng);
+
+/// Shorthand for BackendRegistry::instance().names().
+[[nodiscard]] std::vector<std::string> backend_names();
+
+}  // namespace seqge

@@ -5,10 +5,43 @@
 #include "embedding/oselm_dataflow.hpp"
 #include "embedding/oselm_skipgram.hpp"
 #include "embedding/skipgram_sgd.hpp"
+#include "walk/walk_batch.hpp"
 
 namespace seqge {
 
+double EmbeddingModel::train_batch(const WalkBatch& batch,
+                                   std::size_t window,
+                                   const NegativeSampler& sampler,
+                                   std::size_t ns, NegativeMode mode) {
+  double loss = 0.0;
+  for (std::size_t i = 0; i < batch.num_walks(); ++i) {
+    Rng rng(batch.train_seed(i));
+    loss += train_walk(batch.walk(i), window, sampler, ns, mode, rng);
+  }
+  return loss;
+}
+
 namespace {
+
+/// Shared per-walk dispatch of the batched adapters: walks with
+/// pre-sampled negatives (kPerWalk packing) train through `with_negs`,
+/// the rest re-derive their RNG from the walk's seed and train through
+/// `with_rng`. This is the determinism-critical half of the train_batch
+/// contract — keep it in exactly one place.
+template <typename WithNegs, typename WithRng>
+double dispatch_batch(const WalkBatch& batch, NegativeMode mode,
+                      WithNegs&& with_negs, WithRng&& with_rng) {
+  double loss = 0.0;
+  for (std::size_t i = 0; i < batch.num_walks(); ++i) {
+    if (mode == NegativeMode::kPerWalk && batch.has_negatives(i)) {
+      loss += with_negs(batch.walk(i), batch.negatives(i));
+    } else {
+      Rng rng(batch.train_seed(i));
+      loss += with_rng(batch.walk(i), rng);
+    }
+  }
+  return loss;
+}
 
 class SgdAdapter final : public EmbeddingModel {
  public:
@@ -19,6 +52,19 @@ class SgdAdapter final : public EmbeddingModel {
                     const NegativeSampler& sampler, std::size_t ns,
                     NegativeMode mode, Rng& rng) override {
     return model_.train_walk(walk, window, sampler, ns, mode, rng, lr_);
+  }
+  double train_batch(const WalkBatch& batch, std::size_t window,
+                     const NegativeSampler& sampler, std::size_t ns,
+                     NegativeMode mode) override {
+    return dispatch_batch(
+        batch, mode,
+        [&](auto walk, auto negs) {
+          return model_.train_walk(walk, window, negs, lr_);
+        },
+        [&](auto walk, Rng& rng) {
+          return model_.train_walk(walk, window, sampler, ns, mode, rng,
+                                   lr_);
+        });
   }
   [[nodiscard]] MatrixF extract_embedding() const override {
     return model_.embeddings();
@@ -47,6 +93,18 @@ class OselmAdapter final : public EmbeddingModel {
                     NegativeMode mode, Rng& rng) override {
     return model_.train_walk(walk, window, sampler, ns, mode, rng);
   }
+  double train_batch(const WalkBatch& batch, std::size_t window,
+                     const NegativeSampler& sampler, std::size_t ns,
+                     NegativeMode mode) override {
+    return dispatch_batch(
+        batch, mode,
+        [&](auto walk, auto negs) {
+          return model_.train_walk(walk, window, negs);
+        },
+        [&](auto walk, Rng& rng) {
+          return model_.train_walk(walk, window, sampler, ns, mode, rng);
+        });
+  }
   [[nodiscard]] MatrixF extract_embedding() const override {
     return model_.extract_embedding();
   }
@@ -73,6 +131,21 @@ class DataflowAdapter final : public EmbeddingModel {
                     NegativeMode /*mode*/, Rng& rng) override {
     // The dataflow algorithm always shares negatives per walk (Sec. 3.2).
     return model_.train_walk(walk, window, sampler, ns, rng);
+  }
+  double train_batch(const WalkBatch& batch, std::size_t window,
+                     const NegativeSampler& sampler, std::size_t ns,
+                     NegativeMode /*mode*/) override {
+    // Negatives are only ever packed in kPerWalk mode, and the dataflow
+    // algorithm always shares them; force the with-negatives branch
+    // whenever they are present.
+    return dispatch_batch(
+        batch, NegativeMode::kPerWalk,
+        [&](auto walk, auto negs) {
+          return model_.train_walk(walk, window, negs);
+        },
+        [&](auto walk, Rng& rng) {
+          return model_.train_walk(walk, window, sampler, ns, rng);
+        });
   }
   [[nodiscard]] MatrixF extract_embedding() const override {
     return model_.extract_embedding();

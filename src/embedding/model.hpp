@@ -18,6 +18,8 @@
 
 namespace seqge {
 
+class WalkBatch;
+
 class EmbeddingModel {
  public:
   virtual ~EmbeddingModel() = default;
@@ -28,6 +30,18 @@ class EmbeddingModel {
   virtual double train_walk(std::span<const NodeId> walk, std::size_t window,
                             const NegativeSampler& sampler, std::size_t ns,
                             NegativeMode mode, Rng& rng) = 0;
+
+  /// Train a packed batch of walks. Each walk is trained with its own
+  /// RNG stream seeded from WalkBatch::train_seed(i), using the walk's
+  /// pre-sampled negatives when present (kPerWalk mode); the base-class
+  /// fallback simply loops train_walk. Overrides must be bit-identical
+  /// to the fallback — batching may only change *how* the same updates
+  /// are applied (e.g. the FPGA amortizing DMA of shared beta rows
+  /// across the batch), never the numbers. Returns the summed per-walk
+  /// loss.
+  virtual double train_batch(const WalkBatch& batch, std::size_t window,
+                             const NegativeSampler& sampler, std::size_t ns,
+                             NegativeMode mode);
 
   /// The learned graph embedding, one row per node.
   [[nodiscard]] virtual MatrixF extract_embedding() const = 0;
@@ -46,8 +60,9 @@ enum class ModelKind {
 
 [[nodiscard]] std::string to_string(ModelKind kind);
 
-/// Create one of the CPU models. (The FPGA accelerator implements
-/// EmbeddingModel too but is constructed through src/fpga.)
+/// Create one of the CPU models. Prefer the string-keyed backend
+/// registry (embedding/backend_registry.hpp), which unifies these with
+/// the FPGA accelerator; this enum factory is what the registry wraps.
 [[nodiscard]] std::unique_ptr<EmbeddingModel> make_model(
     ModelKind kind, std::size_t num_nodes, const TrainConfig& cfg, Rng& rng);
 

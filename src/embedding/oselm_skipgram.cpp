@@ -102,6 +102,19 @@ double OselmSkipGram::train_walk(std::span<const NodeId> walk,
   return err;
 }
 
+double OselmSkipGram::train_walk(std::span<const NodeId> walk,
+                                 std::size_t window,
+                                 std::span<const NodeId> shared_negatives) {
+  double err = 0.0;
+  if (opts_.reset_p_per_walk) {
+    p_.set_identity(static_cast<float>(opts_.p0));
+  }
+  for_each_context(walk, window, [&](const WalkContext& ctx) {
+    err += train_context(ctx, shared_negatives);
+  });
+  return err;
+}
+
 MatrixF OselmSkipGram::extract_embedding() const {
   MatrixF emb(num_nodes(), dims());
   const float scale =

@@ -71,6 +71,12 @@ class OselmSkipGram {
                     const NegativeSampler& sampler, std::size_t ns,
                     NegativeMode mode, Rng& rng);
 
+  /// kPerWalk path with externally pre-sampled shared negatives (the
+  /// batched pipeline's PS-side pre-sampling). Resets P per walk exactly
+  /// like the rng-drawing overload.
+  double train_walk(std::span<const NodeId> walk, std::size_t window,
+                    std::span<const NodeId> shared_negatives);
+
   [[nodiscard]] std::size_t num_nodes() const noexcept {
     return beta_t_.rows();
   }

@@ -72,4 +72,15 @@ double SkipGramSGD::train_walk(std::span<const NodeId> walk,
   return loss;
 }
 
+double SkipGramSGD::train_walk(std::span<const NodeId> walk,
+                               std::size_t window,
+                               std::span<const NodeId> shared_negatives,
+                               double lr) {
+  double loss = 0.0;
+  for_each_context(walk, window, [&](const WalkContext& ctx) {
+    loss += train_context(ctx, shared_negatives, lr);
+  });
+  return loss;
+}
+
 }  // namespace seqge

@@ -46,6 +46,13 @@ class SkipGramSGD {
                     const NegativeSampler& sampler, std::size_t ns,
                     NegativeMode mode, Rng& rng, double lr);
 
+  /// kPerWalk path with externally pre-sampled shared negatives (the
+  /// batched pipeline's PS-side pre-sampling). Bit-identical to the
+  /// rng-drawing overload when `shared_negatives` came from the same
+  /// stream.
+  double train_walk(std::span<const NodeId> walk, std::size_t window,
+                    std::span<const NodeId> shared_negatives, double lr);
+
   [[nodiscard]] std::size_t num_nodes() const noexcept {
     return w_in_.rows();
   }

@@ -1,32 +1,229 @@
 #include "embedding/trainer.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/bounded_queue.hpp"
 #include "walk/corpus.hpp"
 #include "walk/node2vec_walker.hpp"
+#include "walk/walk_batch.hpp"
 
 namespace seqge {
 
-TrainStats train_all(EmbeddingModel& model, const Graph& graph,
-                     const TrainConfig& cfg, Rng& rng) {
-  cfg.validate();
-  TrainStats stats;
-  WallTimer timer;
+namespace {
 
-  WalkCorpus corpus =
-      generate_corpus(graph, cfg.walk, cfg.walks_per_node, rng);
+/// Append one walk to a batch: pre-sample the shared negative set from
+/// the walk's own seed stream when the mode calls for it (the PS side's
+/// pre-sampling in Fig. 4), otherwise let the model draw from
+/// Rng(train_seed) itself. Every packing site must go through this so
+/// the pipeline's determinism contract lives in exactly one place.
+void pack_walk(WalkBatch& batch, std::span<const NodeId> walk,
+               std::uint64_t train_seed, NegativeMode mode, std::size_t ns,
+               const NegativeSampler& sampler,
+               std::vector<NodeId>& neg_scratch) {
+  if (mode == NegativeMode::kPerWalk && !walk.empty()) {
+    Rng nrng(train_seed);
+    sampler.sample_batch(nrng, ns, walk[0], neg_scratch);
+    batch.add_walk(walk, neg_scratch, train_seed);
+  } else {
+    batch.add_walk(walk, {}, train_seed);
+  }
+}
+
+/// Deterministic batch factory over a generated corpus: batch `b` of
+/// epoch `e` packs walks [b*B, b*B+B) with training seeds derived from
+/// (base_seed, epoch, walk id). build() is const w.r.t. shared state,
+/// so any number of producer threads can build disjoint batches
+/// concurrently.
+struct BatchSource {
+  const WalkCorpus& corpus;
+  const NegativeSampler& sampler;
+  std::size_t window;
+  std::size_t ns;
+  NegativeMode mode;
+  std::uint64_t base_seed;
+  std::size_t batch_walks;
+  std::size_t batches_per_epoch;
+
+  void build(std::size_t global_index, WalkBatch& batch,
+             std::vector<NodeId>& neg_scratch) const {
+    const std::size_t epoch = global_index / batches_per_epoch;
+    const std::size_t b = global_index % batches_per_epoch;
+    batch.clear();
+    batch.index = global_index;
+    const std::size_t lo = b * batch_walks;
+    const std::size_t hi = std::min(corpus.walks.size(), lo + batch_walks);
+    for (std::size_t w = lo; w < hi; ++w) {
+      const std::uint64_t tseed =
+          derive_seed(base_seed, kTrainSeedStream + epoch, w);
+      pack_walk(batch, corpus.walks[w], tseed, mode, ns, sampler,
+                neg_scratch);
+    }
+  }
+};
+
+/// Run `total_batches` batches from `src` through the model. With
+/// pipe.walker_threads == 0 everything happens inline on the calling
+/// thread; otherwise producers build batches into a bounded queue and
+/// the calling thread consumes them strictly in index order (a small
+/// reorder buffer absorbs out-of-order arrival), which is what makes
+/// the two paths bit-identical. Honors pipe.max_walks as an early-stop
+/// budget: the final batch is truncated, the queue closed, and all
+/// producers joined before returning.
+void run_batched(EmbeddingModel& model, const BatchSource& src,
+                 std::size_t total_batches, const PipelineConfig& pipe,
+                 TrainStats& stats) {
+  const std::size_t budget = pipe.max_walks;
+
+  // Train one batch; returns false once the walk budget is exhausted.
+  auto train_one = [&](WalkBatch& batch) -> bool {
+    if (budget != 0) {
+      if (stats.num_walks >= budget) return false;
+      batch.truncate(budget - stats.num_walks);
+    }
+    if (!batch.empty()) {
+      stats.last_loss =
+          model.train_batch(batch, src.window, src.sampler, src.ns, src.mode);
+      stats.num_walks += batch.num_walks();
+      stats.num_contexts += batch.total_contexts(src.window);
+      ++stats.num_batches;
+    }
+    return budget == 0 || stats.num_walks < budget;
+  };
+
+  if (pipe.walker_threads == 0) {
+    WalkBatch batch;
+    std::vector<NodeId> neg_scratch;
+    for (std::size_t b = 0; b < total_batches; ++b) {
+      src.build(b, batch, neg_scratch);
+      if (!train_one(batch)) break;
+    }
+    return;
+  }
+
+  BoundedQueue<WalkBatch> queue(pipe.queue_capacity);
+  std::atomic<std::size_t> next_index{0};
+  std::vector<std::thread> producers;
+  producers.reserve(pipe.walker_threads);
+
+  // Production lookahead window. The queue alone cannot bound memory:
+  // the consumer pops out-of-order arrivals into its reorder buffer
+  // (freeing queue slots), so if the producer holding the next-needed
+  // index stalls, the others could otherwise run arbitrarily far
+  // ahead. Producers therefore wait before *claiming* an index more
+  // than `lookahead` batches past the last trained one, which bounds
+  // queue + reorder buffer + in-build batches combined.
+  const std::size_t lookahead =
+      pipe.queue_capacity + pipe.walker_threads;
+  std::mutex window_mutex;
+  std::condition_variable window_cv;
+  std::size_t trained = 0;  // guarded by window_mutex
+  bool stopping = false;    // guarded by window_mutex
+
+  // Stop + close + drain + join on every exit path — including an
+  // exception thrown by a backend's train_batch — so producers never
+  // outlive the queue and the std::threads are always joined before
+  // unwinding.
+  struct PipelineGuard {
+    BoundedQueue<WalkBatch>& queue;
+    std::vector<std::thread>& producers;
+    std::mutex& window_mutex;
+    std::condition_variable& window_cv;
+    bool& stopping;
+    ~PipelineGuard() {
+      {
+        std::lock_guard lock(window_mutex);
+        stopping = true;
+      }
+      window_cv.notify_all();
+      queue.close();
+      while (queue.pop().has_value()) {}  // drain in-flight batches
+      for (auto& th : producers) {
+        if (th.joinable()) th.join();
+      }
+    }
+  } guard{queue, producers, window_mutex, window_cv, stopping};
+
+  for (std::size_t t = 0; t < pipe.walker_threads; ++t) {
+    producers.emplace_back([&] {
+      std::vector<NodeId> neg_scratch;
+      for (;;) {
+        const std::size_t b = next_index.fetch_add(1);
+        if (b >= total_batches) break;
+        {
+          std::unique_lock lock(window_mutex);
+          window_cv.wait(lock, [&] {
+            return stopping || b <= trained + lookahead;
+          });
+          if (stopping) break;
+        }
+        WalkBatch batch;
+        src.build(b, batch, neg_scratch);
+        if (!queue.push(std::move(batch))) break;  // closed: early stop
+      }
+    });
+  }
+
+  // Consumer: train in batch-index order; a small reorder buffer
+  // absorbs out-of-order arrivals (bounded by the lookahead window).
+  std::map<std::size_t, WalkBatch> pending;
+  std::size_t next_to_train = 0;
+  bool keep_going = true;
+  while (keep_going && next_to_train < total_batches) {
+    auto item = queue.pop();
+    if (!item) break;
+    pending.emplace(item->index, std::move(*item));
+    for (auto it = pending.find(next_to_train); it != pending.end();
+         it = pending.find(next_to_train)) {
+      keep_going = train_one(it->second);
+      pending.erase(it);
+      ++next_to_train;
+      {
+        std::lock_guard lock(window_mutex);
+        trained = next_to_train;
+      }
+      window_cv.notify_all();
+      if (!keep_going) break;
+    }
+  }
+}
+
+}  // namespace
+
+TrainStats train_all(EmbeddingModel& model, const Graph& graph,
+                     const TrainConfig& cfg, Rng& rng,
+                     const PipelineConfig& pipe) {
+  cfg.validate();
+  pipe.validate();
+  TrainStats stats;
+  const std::uint64_t base_seed = rng.next();
+
+  // Stage 1 (PS): walk generation, fanned out over the walker threads.
+  WallTimer timer;
+  WalkCorpus corpus = generate_corpus_pipelined(
+      graph, cfg.walk, cfg.walks_per_node, base_seed, pipe.walker_threads);
   stats.walk_seconds = timer.seconds();
 
   NegativeSampler sampler(corpus.frequency);
 
+  // Stage 2 (PS -> PL): producers pack batches + pre-sample negatives
+  // while the consumer streams them through train_batch.
   timer.reset();
-  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
-    for (const auto& walk : corpus.walks) {
-      stats.last_loss =
-          model.train_walk(walk, cfg.walk.window, sampler,
-                           cfg.negative_samples, cfg.negative_mode, rng);
-      ++stats.num_walks;
-      stats.num_contexts += num_contexts(walk.size(), cfg.walk.window);
-    }
-  }
+  const std::size_t batches_per_epoch =
+      (corpus.walks.size() + pipe.batch_walks - 1) / pipe.batch_walks;
+  const BatchSource src{corpus,
+                        sampler,
+                        cfg.walk.window,
+                        cfg.negative_samples,
+                        cfg.negative_mode,
+                        base_seed,
+                        pipe.batch_walks,
+                        batches_per_epoch};
+  run_batched(model, src, cfg.epochs * batches_per_epoch, pipe, stats);
   stats.train_seconds = timer.seconds();
   return stats;
 }
@@ -35,6 +232,7 @@ SequentialResult train_sequential(EmbeddingModel& model,
                                   const Graph& full_graph,
                                   const SequentialConfig& cfg, Rng& rng) {
   cfg.train.validate();
+  cfg.pipeline.validate();
   SequentialResult result;
   TrainStats& stats = result.stats;
 
@@ -46,35 +244,49 @@ SequentialResult train_sequential(EmbeddingModel& model,
   DynamicGraph dyn(full_graph.num_nodes());
   for (const Edge& e : split.forest_edges) dyn.add_edge(e.src, e.dst, e.weight);
 
-  // Phase 1: initial training on the forest.
+  const std::uint64_t base_seed = rng.next();
+
+  // Phase 1: initial training on the forest, through the same pipelined
+  // engine as train_all.
   const std::size_t init_r = cfg.initial_walks_per_node != 0
                                  ? cfg.initial_walks_per_node
                                  : cfg.train.walks_per_node;
   WallTimer timer;
-  WalkCorpus corpus = generate_corpus(dyn, cfg.train.walk, init_r, rng);
+  WalkCorpus corpus =
+      generate_corpus_pipelined(dyn, cfg.train.walk, init_r, base_seed,
+                                cfg.pipeline.walker_threads);
   stats.walk_seconds += timer.seconds();
 
   std::vector<std::uint64_t> frequency = corpus.frequency;
   NegativeSampler sampler(frequency);
 
   timer.reset();
-  for (const auto& walk : corpus.walks) {
-    stats.last_loss =
-        model.train_walk(walk, cfg.train.walk.window, sampler,
-                         cfg.train.negative_samples,
-                         cfg.train.negative_mode, rng);
-    ++stats.num_walks;
-    stats.num_contexts += num_contexts(walk.size(), cfg.train.walk.window);
-  }
+  const std::size_t batches_per_epoch =
+      (corpus.walks.size() + cfg.pipeline.batch_walks - 1) /
+      cfg.pipeline.batch_walks;
+  const BatchSource src{corpus,
+                        sampler,
+                        cfg.train.walk.window,
+                        cfg.train.negative_samples,
+                        cfg.train.negative_mode,
+                        base_seed,
+                        cfg.pipeline.batch_walks,
+                        batches_per_epoch};
+  run_batched(model, src, batches_per_epoch, cfg.pipeline, stats);
   stats.train_seconds += timer.seconds();
   corpus.walks.clear();
   corpus.walks.shrink_to_fit();
 
   // Phase 2: stream the removed edges back in; walk from both endpoints
-  // of each inserted edge (Sec. 4.3.2) and train sequentially.
+  // of each inserted edge (Sec. 4.3.2) and train sequentially. The two
+  // endpoint walks share one WalkBatch, so backends with batched
+  // implementations (notably the FPGA) burst their overlapping rows.
   Node2VecWalker<DynamicGraph> walker(dyn, cfg.train.walk);
   std::vector<NodeId> walk;
+  std::vector<NodeId> neg_scratch;
+  WalkBatch batch;
   std::size_t since_rebuild = 0;
+  const std::size_t window = cfg.train.walk.window;
 
   const std::size_t limit =
       std::min(cfg.max_insertions, split.removed_edges.size());
@@ -83,25 +295,28 @@ SequentialResult train_sequential(EmbeddingModel& model,
     if (!dyn.add_edge(e.src, e.dst, e.weight)) continue;
     ++result.insertions;
 
+    batch.clear();
+    timer.reset();
     for (NodeId endpoint : {e.src, e.dst}) {
-      timer.reset();
       walker.walk_into(rng, endpoint, walk);
-      stats.walk_seconds += timer.seconds();
       for (NodeId v : walk) ++frequency[v];
-
-      timer.reset();
-      stats.last_loss =
-          model.train_walk(walk, cfg.train.walk.window, sampler,
-                           cfg.train.negative_samples,
-                           cfg.train.negative_mode, rng);
-      stats.train_seconds += timer.seconds();
+      pack_walk(batch, walk, rng.next(), cfg.train.negative_mode,
+                cfg.train.negative_samples, sampler, neg_scratch);
       ++stats.num_walks;
-      stats.num_contexts +=
-          num_contexts(walk.size(), cfg.train.walk.window);
+      stats.num_contexts += num_contexts(walk.size(), window);
     }
+    stats.walk_seconds += timer.seconds();
+
+    timer.reset();
+    stats.last_loss =
+        model.train_batch(batch, window, sampler, cfg.train.negative_samples,
+                          cfg.train.negative_mode);
+    stats.train_seconds += timer.seconds();
+    ++stats.num_batches;
 
     if (++since_rebuild >= cfg.sampler_rebuild_interval) {
       sampler = NegativeSampler(frequency);
+      ++stats.sampler_rebuilds;
       since_rebuild = 0;
     }
   }

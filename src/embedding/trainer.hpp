@@ -1,17 +1,33 @@
 #pragma once
-// Training orchestration for the paper's two scenarios (Sec. 4.3.2):
+// Training orchestration for the paper's two scenarios (Sec. 4.3.2),
+// rebuilt as a batched, producer/consumer pipelined engine:
 //
 //  * "all" — the entire graph exists from the beginning: generate r
 //    walks per node, build the negative-sampling distribution from walk
-//    frequencies, and train every walk (train_all).
+//    frequencies, and train every walk (train_all). Walk generation and
+//    batch packing (negative pre-sampling included) run on N walker
+//    threads — the PS side of Fig. 4 — while the calling thread consumes
+//    WalkBatches through EmbeddingModel::train_batch, in strict batch
+//    order, so any thread count produces bit-identical embeddings.
 //
 //  * "seq" — start from a spanning forest with the same connected
 //    components, then add the removed edges back one at a time; each
 //    insertion triggers a random walk from *both* endpoints of the new
-//    edge plus a sequential training step (train_sequential).
+//    edge plus a sequential training step (train_sequential). The
+//    initial forest phase reuses the pipelined engine; the insertion
+//    stream is inherently sequential but still trains through
+//    train_batch (the two endpoint walks share one batch, which lets
+//    the FPGA backend burst their overlapping beta rows).
+//
+// Determinism contract: every stochastic choice in the pipelined path is
+// keyed by (seed derived from the caller's Rng, stream, walk id) — see
+// walk/walk_batch.hpp — so runs differing only in walker_threads are
+// bit-identical. Runs differing in batch_walks train the same updates in
+// the same order but may report different FPGA batch timings.
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "embedding/config.hpp"
@@ -28,12 +44,45 @@ struct TrainStats {
   double train_seconds = 0.0;  ///< time spent in model updates
   std::size_t num_walks = 0;
   std::size_t num_contexts = 0;
+  std::size_t num_batches = 0;       ///< train_batch calls issued
+  std::size_t sampler_rebuilds = 0;  ///< alias-table rebuilds ("seq" only)
   double last_loss = 0.0;
 };
 
-/// Batch ("all") training of `model` on a static graph.
+/// How the training pipeline is staffed and shaped. The default is the
+/// single-threaded inline path (production on the consumer thread) —
+/// bit-identical to any pipelined configuration with the same
+/// batch_walks.
+struct PipelineConfig {
+  /// Walker/packer threads producing WalkBatches. 0 = inline production
+  /// on the calling thread (no threads spawned).
+  std::size_t walker_threads = 0;
+  /// Walks packed per WalkBatch. Larger batches amortize the FPGA's
+  /// burst DMA further but delay the pipeline's first result.
+  std::size_t batch_walks = 64;
+  /// Bound on batches in flight between producers and the consumer.
+  std::size_t queue_capacity = 8;
+  /// Early stop: consume at most this many walks (0 = no cap). The
+  /// queue drains and producers join cleanly when the cap hits
+  /// mid-stream.
+  std::size_t max_walks = 0;
+
+  void validate() const {
+    if (batch_walks == 0) {
+      throw std::invalid_argument("PipelineConfig: batch_walks == 0");
+    }
+    if (queue_capacity == 0) {
+      throw std::invalid_argument("PipelineConfig: queue_capacity == 0");
+    }
+  }
+};
+
+/// Batch ("all") training of `model` on a static graph. `rng` seeds the
+/// run (one draw); pipe.walker_threads parallelizes walk generation and
+/// batch packing without changing the result.
 TrainStats train_all(EmbeddingModel& model, const Graph& graph,
-                     const TrainConfig& cfg, Rng& rng);
+                     const TrainConfig& cfg, Rng& rng,
+                     const PipelineConfig& pipe = {});
 
 struct SequentialConfig {
   TrainConfig train;
@@ -43,10 +92,14 @@ struct SequentialConfig {
   /// Rebuild the O(n) negative-sampling alias table every this many
   /// insertions (the paper rebuilds per walk; amortizing preserves the
   /// distribution to within staleness of a few hundred walk counts).
+  /// Rebuilds performed are reported in TrainStats::sampler_rebuilds.
   std::size_t sampler_rebuild_interval = 256;
   /// Cap on the number of edge insertions (for scaled-down benches);
   /// SIZE_MAX = insert every removed edge.
   std::size_t max_insertions = static_cast<std::size_t>(-1);
+  /// Pipeline staffing for the initial forest phase (the insertion
+  /// stream is inherently sequential).
+  PipelineConfig pipeline{};
 };
 
 struct SequentialResult {

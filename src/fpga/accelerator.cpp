@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "walk/walk_batch.hpp"
+
 namespace seqge::fpga {
 
 Accelerator::Accelerator(std::size_t num_nodes,
@@ -42,25 +44,14 @@ void Accelerator::release_slots() {
   slot_nodes_.clear();
 }
 
-double Accelerator::train_walk(std::span<const NodeId> walk,
-                               std::size_t window,
-                               const NegativeSampler& sampler,
-                               std::size_t ns, NegativeMode /*mode*/,
-                               Rng& rng) {
-  if (walk.size() < window) return 0.0;
-  if (window != cfg_.window) {
-    throw std::invalid_argument("Accelerator: window != configured window");
-  }
-
-  // PS side: pre-sample one shared negative set for the walk (Sec. 3.2).
-  sampler.sample_batch(rng, ns, walk[0], negatives_);
-
+Accelerator::WalkRun Accelerator::run_one_walk(
+    std::span<const NodeId> walk, std::span<const NodeId> negatives) {
   // Slot assignment. Negatives that also appear in the walk share the
   // walk node's slot so their deferred updates accumulate into one row.
   walk_slots_.clear();
   for (NodeId v : walk) walk_slots_.push_back(slot_for(v));
   neg_slots_.clear();
-  for (NodeId v : negatives_) neg_slots_.push_back(slot_for(v));
+  for (NodeId v : negatives) neg_slots_.push_back(slot_for(v));
 
   // DMA-in: gather the touched beta rows from DRAM into BRAM slots.
   for (std::size_t s = 0; s < slot_nodes_.size(); ++s) {
@@ -80,17 +71,157 @@ double Accelerator::train_walk(std::span<const NodeId> walk,
     std::copy(src.begin(), src.end(),
               dram_beta_.begin() + static_cast<std::size_t>(node) * cfg_.dims);
   }
+  const WalkRun run{sq_err, slot_nodes_.size()};
+  release_slots();
+  return run;
+}
+
+double Accelerator::train_walk(std::span<const NodeId> walk,
+                               std::size_t window,
+                               const NegativeSampler& sampler,
+                               std::size_t ns, NegativeMode /*mode*/,
+                               Rng& rng) {
+  if (walk.size() < window) return 0.0;
+  if (window != cfg_.window) {
+    throw std::invalid_argument("Accelerator: window != configured window");
+  }
+
+  // PS side: pre-sample one shared negative set for the walk (Sec. 3.2).
+  sampler.sample_batch(rng, ns, walk[0], negatives_);
+
+  const WalkRun run = run_one_walk(walk, negatives_);
 
   // Simulated time from the cycle/DMA models (full-length walks match
   // the calibrated Tables 3/4 point; short walks scale by context and
   // slot counts).
-  last_timing_ = perf_.walk_timing(
-      walk.size() >= window ? walk.size() - window + 1 : 0,
-      slot_nodes_.size());
+  last_timing_ =
+      perf_.walk_timing(walk.size() - window + 1, run.distinct_slots);
   simulated_us_ += last_timing_.total_us;
   ++walks_;
+  return run.sq_err;
+}
 
+double Accelerator::train_batch(const WalkBatch& batch, std::size_t window,
+                                const NegativeSampler& sampler,
+                                std::size_t ns, NegativeMode /*mode*/) {
+  if (window != cfg_.window) {
+    throw std::invalid_argument("Accelerator: window != configured window");
+  }
+
+  // PS side, pass 1: materialize every walk's shared negatives — the
+  // batch's pre-sampled set when present, otherwise drawn from the
+  // walk's own seed stream exactly as train_walk would.
+  batch_negatives_.clear();
+  batch_neg_off_.assign(1, 0);
+  for (std::size_t i = 0; i < batch.num_walks(); ++i) {
+    const auto walk = batch.walk(i);
+    if (walk.size() >= window) {
+      if (batch.has_negatives(i)) {
+        const auto negs = batch.negatives(i);
+        batch_negatives_.insert(batch_negatives_.end(), negs.begin(),
+                                negs.end());
+      } else {
+        Rng rng(batch.train_seed(i));
+        sampler.sample_batch(rng, ns, walk[0], negatives_);
+        batch_negatives_.insert(batch_negatives_.end(), negatives_.begin(),
+                                negatives_.end());
+      }
+    }
+    batch_neg_off_.push_back(
+        static_cast<std::uint32_t>(batch_negatives_.size()));
+  }
+
+  // Pass 2: DMA accounting. BRAM holds at most max_slots() beta rows,
+  // so the batch streams through it in burst groups — maximal runs of
+  // consecutive walks whose *union* of touched rows still fits the
+  // BRAM. Rows shared within a group transfer once per direction; a
+  // row needed again in a later group is re-fetched, exactly as the
+  // capacity-limited hardware would have to.
+  struct BurstGroup {
+    std::size_t contexts = 0;
+    std::size_t id_words = 0;
+    std::size_t walks = 0;
+    std::size_t distinct = 0;
+  };
+  std::vector<BurstGroup> groups;
+  BurstGroup cur;
+  const std::size_t cap = cfg_.max_slots();
+  auto mark = [&](NodeId v) {
+    if (slot_of_[v] < 0) {
+      slot_of_[v] = 0;
+      slot_nodes_.push_back(v);
+    }
+  };
+  std::size_t effective_walks = 0;
+  for (std::size_t i = 0; i < batch.num_walks(); ++i) {
+    const auto walk = batch.walk(i);
+    if (walk.size() < window) continue;
+    ++effective_walks;
+    const std::span<const NodeId> negs{
+        batch_negatives_.data() + batch_neg_off_[i],
+        batch_neg_off_[i + 1] - batch_neg_off_[i]};
+
+    const std::size_t checkpoint = slot_nodes_.size();
+    for (NodeId v : walk) mark(v);
+    for (NodeId v : negs) mark(v);
+    if (cur.walks > 0 && slot_nodes_.size() > cap) {
+      // This walk overflows the group's BRAM residency: unwind its
+      // marks, close the group, and start a fresh one with this walk.
+      while (slot_nodes_.size() > checkpoint) {
+        slot_of_[slot_nodes_.back()] = -1;
+        slot_nodes_.pop_back();
+      }
+      cur.distinct = slot_nodes_.size();
+      groups.push_back(cur);
+      cur = {};
+      release_slots();
+      for (NodeId v : walk) mark(v);
+      for (NodeId v : negs) mark(v);
+    }
+    ++cur.walks;
+    cur.contexts += walk.size() - window + 1;
+    cur.id_words += walk.size() + negs.size();
+  }
+  if (cur.walks > 0) {
+    cur.distinct = slot_nodes_.size();
+    groups.push_back(cur);
+  }
   release_slots();
+
+  // Pass 3: run each walk through the core — same per-walk commit order
+  // as the unbatched path, so results are bit-identical.
+  double sq_err = 0.0;
+  for (std::size_t i = 0; i < batch.num_walks(); ++i) {
+    const auto walk = batch.walk(i);
+    if (walk.size() < window) continue;
+    const std::span<const NodeId> negs{
+        batch_negatives_.data() + batch_neg_off_[i],
+        batch_neg_off_[i + 1] - batch_neg_off_[i]};
+    sq_err += run_one_walk(walk, negs).sq_err;
+  }
+
+  if (!groups.empty()) {
+    // One descriptor chain + completion interrupt for the whole batch:
+    // the per-walk control overhead is charged once, on the first group.
+    WalkTiming total{};
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const WalkTiming t =
+          perf_.batch_timing(groups[g].contexts, groups[g].distinct,
+                             groups[g].id_words, /*include_overhead=*/g == 0);
+      total.dma_in_us += t.dma_in_us;
+      total.compute_us += t.compute_us;
+      total.dma_out_us += t.dma_out_us;
+      total.overhead_us += t.overhead_us;
+      total.total_us += t.total_us;
+      total.context_cycles = t.context_cycles;
+      total.total_cycles += t.total_cycles;
+      total.bytes_in += t.bytes_in;
+      total.bytes_out += t.bytes_out;
+    }
+    last_timing_ = total;
+    simulated_us_ += total.total_us;
+    walks_ += effective_walks;
+  }
   return sq_err;
 }
 

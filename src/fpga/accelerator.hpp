@@ -33,6 +33,14 @@ class Accelerator final : public EmbeddingModel {
   double train_walk(std::span<const NodeId> walk, std::size_t window,
                     const NegativeSampler& sampler, std::size_t ns,
                     NegativeMode mode, Rng& rng) override;
+  /// Batched training. Functionally bit-identical to looping train_walk
+  /// (each walk still runs Algorithm 2 and commits before the next), but
+  /// the *simulated* DMA amortizes: the union of the batch's touched
+  /// beta rows crosses DRAM<->BRAM once per direction and the per-walk
+  /// descriptor overhead collapses to one per batch (Fig. 4 bursts).
+  double train_batch(const WalkBatch& batch, std::size_t window,
+                     const NegativeSampler& sampler, std::size_t ns,
+                     NegativeMode mode) override;
   [[nodiscard]] MatrixF extract_embedding() const override;
   [[nodiscard]] std::size_t dims() const override { return cfg_.dims; }
   [[nodiscard]] std::size_t num_nodes() const override {
@@ -70,12 +78,22 @@ class Accelerator final : public EmbeddingModel {
   std::vector<NodeId> slot_nodes_;
   std::vector<std::uint32_t> walk_slots_, neg_slots_;
   std::vector<NodeId> negatives_;
+  // batch scratch: per-walk negatives, packed (offsets are walks + 1)
+  std::vector<NodeId> batch_negatives_;
+  std::vector<std::uint32_t> batch_neg_off_;
   double simulated_us_ = 0.0;
   WalkTiming last_timing_{};
   std::uint64_t walks_ = 0;
 
   [[nodiscard]] std::uint32_t slot_for(NodeId node);
   void release_slots();
+  struct WalkRun {
+    double sq_err = 0.0;
+    std::size_t distinct_slots = 0;
+  };
+  /// Slot-map, DMA-in, run, DMA-out, release for one walk (no timing).
+  WalkRun run_one_walk(std::span<const NodeId> walk,
+                       std::span<const NodeId> negatives);
 };
 
 }  // namespace seqge::fpga

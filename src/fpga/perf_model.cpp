@@ -54,4 +54,30 @@ WalkTiming PerfModel::walk_timing(std::size_t contexts,
   return t;
 }
 
+WalkTiming PerfModel::batch_timing(std::size_t contexts,
+                                   std::size_t distinct_slots,
+                                   std::size_t id_words,
+                                   bool include_overhead) const noexcept {
+  WalkTiming t;
+  t.context_cycles = context_cycles();
+  t.total_cycles = t.context_cycles * contexts;
+  t.compute_us =
+      static_cast<double>(t.total_cycles) / cfg_.clock_mhz;  // MHz = c/us
+
+  const std::size_t row_bytes = cfg_.dims * kWordBytes;
+  const std::size_t p_bytes = cfg_.dims * cfg_.dims * kWordBytes;
+  // Burst semantics: every distinct row crosses DRAM<->BRAM once per
+  // group; P is (re)initialized on the PL, so it too moves once.
+  const DmaTransfer in = dma_.transfer(id_words * sizeof(std::uint32_t) +
+                                       distinct_slots * row_bytes + p_bytes);
+  const DmaTransfer out = dma_.transfer(distinct_slots * row_bytes + p_bytes);
+  t.bytes_in = in.bytes;
+  t.bytes_out = out.bytes;
+  t.dma_in_us = in.microseconds;
+  t.dma_out_us = out.microseconds;
+  t.overhead_us = include_overhead ? kWalkOverheadUs : 0.0;
+  t.total_us = t.compute_us + t.dma_in_us + t.dma_out_us + t.overhead_us;
+  return t;
+}
+
 }  // namespace seqge::fpga

@@ -64,6 +64,21 @@ class PerfModel {
   [[nodiscard]] WalkTiming walk_timing(std::size_t contexts,
                                        std::size_t slots) const noexcept;
 
+  /// Timing for one burst group of a batch: `contexts` windows over
+  /// walks whose union of touched rows is `distinct_slots` (the caller
+  /// must keep this within the BRAM capacity, max_slots()), with
+  /// `id_words` sample ids streamed in. One burst DMA per direction
+  /// moves each distinct beta row (and P) once for the group — the
+  /// Fig. 4 burst-transfer amortization the batched host pipeline
+  /// exploits. The descriptor-chain/interrupt overhead is charged only
+  /// when `include_overhead` is set: a batch issues one descriptor
+  /// chain for all its groups, so the caller sets it on the first
+  /// group only.
+  [[nodiscard]] WalkTiming batch_timing(std::size_t contexts,
+                                        std::size_t distinct_slots,
+                                        std::size_t id_words,
+                                        bool include_overhead) const noexcept;
+
   [[nodiscard]] const AcceleratorConfig& config() const noexcept {
     return cfg_;
   }

@@ -226,4 +226,48 @@ Graph make_erdos_renyi(std::size_t num_nodes, std::size_t num_edges,
   return Graph::from_edges(num_nodes, edges);
 }
 
+Graph make_barabasi_albert(std::size_t num_nodes,
+                           std::size_t edges_per_node, std::uint64_t seed) {
+  const std::size_t m = edges_per_node;
+  if (m == 0 || num_nodes < m + 2) {
+    throw std::invalid_argument(
+        "make_barabasi_albert: need edges_per_node >= 1 and "
+        "num_nodes >= edges_per_node + 2");
+  }
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(num_nodes * m);
+  // `endpoints` holds every edge endpoint once; sampling a uniform entry
+  // is sampling a node with probability proportional to its degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * num_nodes * m);
+
+  const std::size_t core = m + 1;
+  for (std::size_t u = 0; u < core; ++u) {
+    for (std::size_t v = u + 1; v < core; ++v) {
+      edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v), 1.0f});
+      endpoints.push_back(static_cast<NodeId>(u));
+      endpoints.push_back(static_cast<NodeId>(v));
+    }
+  }
+
+  std::vector<NodeId> targets;
+  targets.reserve(m);
+  for (std::size_t u = core; u < num_nodes; ++u) {
+    targets.clear();
+    while (targets.size() < m) {
+      const NodeId t = endpoints[rng.bounded(endpoints.size())];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (NodeId t : targets) {
+      edges.push_back({static_cast<NodeId>(u), t, 1.0f});
+      endpoints.push_back(static_cast<NodeId>(u));
+      endpoints.push_back(t);
+    }
+  }
+  return Graph::from_edges(num_nodes, edges);
+}
+
 }  // namespace seqge

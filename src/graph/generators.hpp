@@ -59,4 +59,14 @@ struct SbmConfig {
                                      std::size_t num_edges,
                                      std::uint64_t seed);
 
+/// Barabasi-Albert preferential attachment: start from a
+/// (edges_per_node + 1)-clique, then attach each new node to
+/// `edges_per_node` distinct existing nodes with probability
+/// proportional to degree. Scale-free degree distribution — the shape
+/// of the paper's citation/co-purchase workloads — used by the pipeline
+/// throughput bench.
+[[nodiscard]] Graph make_barabasi_albert(std::size_t num_nodes,
+                                         std::size_t edges_per_node,
+                                         std::uint64_t seed);
+
 }  // namespace seqge

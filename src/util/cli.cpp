@@ -12,24 +12,38 @@ ArgParser::ArgParser(std::string program, std::string description)
 void ArgParser::add_flag(const std::string& name, bool* target,
                          const std::string& help) {
   options_.push_back({name, Kind::kFlag, target, help,
-                      *target ? "true" : "false"});
+                      *target ? "true" : "false", {}});
 }
 
 void ArgParser::add_int(const std::string& name, std::int64_t* target,
                         const std::string& help) {
   options_.push_back(
-      {name, Kind::kInt, target, help, std::to_string(*target)});
+      {name, Kind::kInt, target, help, std::to_string(*target), {}});
 }
 
 void ArgParser::add_double(const std::string& name, double* target,
                            const std::string& help) {
   options_.push_back(
-      {name, Kind::kDouble, target, help, std::to_string(*target)});
+      {name, Kind::kDouble, target, help, std::to_string(*target), {}});
 }
 
 void ArgParser::add_string(const std::string& name, std::string* target,
                            const std::string& help) {
-  options_.push_back({name, Kind::kString, target, help, *target});
+  options_.push_back({name, Kind::kString, target, help, *target, {}});
+}
+
+void ArgParser::add_choice(const std::string& name, std::string* target,
+                           std::vector<std::string> choices,
+                           const std::string& help) {
+  bool default_ok = false;
+  for (const auto& c : choices) default_ok = default_ok || c == *target;
+  if (choices.empty() || !default_ok) {
+    throw std::invalid_argument("ArgParser::add_choice(--" + name +
+                                "): default '" + *target +
+                                "' is not among the choices");
+  }
+  options_.push_back(
+      {name, Kind::kChoice, target, help, *target, std::move(choices)});
 }
 
 ArgParser::Option* ArgParser::find(const std::string& name) {
@@ -55,6 +69,14 @@ bool ArgParser::set_value(Option& opt, const std::string& value) {
       case Kind::kString:
         *static_cast<std::string*>(opt.target) = value;
         return true;
+      case Kind::kChoice:
+        for (const auto& c : opt.choices) {
+          if (c == value) {
+            *static_cast<std::string*>(opt.target) = value;
+            return true;
+          }
+        }
+        return false;
     }
   } catch (const std::exception&) {
     return false;
@@ -100,8 +122,19 @@ bool ArgParser::parse(int argc, char** argv) {
       }
     }
     if (!set_value(*opt, value)) {
-      std::fprintf(stderr, "%s: bad value '%s' for --%s\n", program_.c_str(),
-                   value.c_str(), name.c_str());
+      if (opt->kind == Kind::kChoice) {
+        std::string allowed;
+        for (const auto& c : opt->choices) {
+          if (!allowed.empty()) allowed += "|";
+          allowed += c;
+        }
+        std::fprintf(stderr, "%s: bad value '%s' for --%s (one of: %s)\n",
+                     program_.c_str(), value.c_str(), name.c_str(),
+                     allowed.c_str());
+      } else {
+        std::fprintf(stderr, "%s: bad value '%s' for --%s\n",
+                     program_.c_str(), value.c_str(), name.c_str());
+      }
       return false;
     }
   }
@@ -113,8 +146,19 @@ void ArgParser::print_usage() const {
   if (!description_.empty()) std::fprintf(stderr, "%s\n", description_.c_str());
   std::fprintf(stderr, "options:\n");
   for (const auto& opt : options_) {
-    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", opt.name.c_str(),
-                 opt.help.c_str(), opt.default_repr.c_str());
+    if (opt.kind == Kind::kChoice) {
+      std::string allowed;
+      for (const auto& c : opt.choices) {
+        if (!allowed.empty()) allowed += "|";
+        allowed += c;
+      }
+      std::fprintf(stderr, "  --%-24s %s (one of: %s; default: %s)\n",
+                   opt.name.c_str(), opt.help.c_str(), allowed.c_str(),
+                   opt.default_repr.c_str());
+    } else {
+      std::fprintf(stderr, "  --%-24s %s (default: %s)\n", opt.name.c_str(),
+                   opt.help.c_str(), opt.default_repr.c_str());
+    }
   }
 }
 

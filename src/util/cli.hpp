@@ -26,6 +26,11 @@ class ArgParser {
                   const std::string& help);
   void add_string(const std::string& name, std::string* target,
                   const std::string& help);
+  /// String option restricted to `choices` (listed in --help; any other
+  /// value is rejected at parse time). The target's initial value is the
+  /// default and must be one of the choices.
+  void add_choice(const std::string& name, std::string* target,
+                  std::vector<std::string> choices, const std::string& help);
 
   /// Parse argv. Returns false (after printing usage) on --help or error.
   [[nodiscard]] bool parse(int argc, char** argv);
@@ -38,13 +43,14 @@ class ArgParser {
   void print_usage() const;
 
  private:
-  enum class Kind { kFlag, kInt, kDouble, kString };
+  enum class Kind { kFlag, kInt, kDouble, kString, kChoice };
   struct Option {
     std::string name;
     Kind kind;
     void* target;
     std::string help;
     std::string default_repr;
+    std::vector<std::string> choices;  // kChoice only
   };
 
   Option* find(const std::string& name);

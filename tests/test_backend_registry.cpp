@@ -1,0 +1,115 @@
+// Tests for the unified backend registry — the single construction path
+// for the three CPU models and the FPGA accelerator.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "embedding/backend_registry.hpp"
+#include "fpga/accelerator.hpp"
+#include "graph/generators.hpp"
+#include "sampling/negative_sampler.hpp"
+#include "walk/node2vec_walker.hpp"
+
+namespace seqge {
+namespace {
+
+TrainConfig small_config() {
+  TrainConfig cfg;
+  cfg.dims = 8;
+  cfg.walk.walk_length = 20;
+  cfg.walk.window = 5;
+  cfg.negative_samples = 4;
+  return cfg;
+}
+
+TEST(BackendRegistry, BuiltinsPresentInStableOrder) {
+  const std::vector<std::string> names = backend_names();
+  ASSERT_GE(names.size(), 4u);
+  EXPECT_EQ(names[0], "original-sgd");
+  EXPECT_EQ(names[1], "oselm");
+  EXPECT_EQ(names[2], "oselm-dataflow");
+  EXPECT_EQ(names[3], "fpga");
+  for (const std::string& n : names) {
+    EXPECT_TRUE(BackendRegistry::instance().contains(n)) << n;
+    EXPECT_FALSE(BackendRegistry::instance().describe(n).empty()) << n;
+  }
+  EXPECT_FALSE(BackendRegistry::instance().contains("no-such-backend"));
+}
+
+TEST(BackendRegistry, UnknownNameThrowsWithAvailableList) {
+  const TrainConfig cfg = small_config();
+  Rng rng(1);
+  try {
+    auto m = make_backend("warp-drive", 10, cfg, rng);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("warp-drive"), std::string::npos);
+    EXPECT_NE(what.find("original-sgd"), std::string::npos);
+    EXPECT_NE(what.find("fpga"), std::string::npos);
+  }
+}
+
+TEST(BackendRegistry, EveryBuiltinTrainsAWalk) {
+  const LabeledGraph data = generate_dcsbm(
+      {.num_nodes = 60, .target_edges = 300, .num_classes = 3, .seed = 3});
+  const TrainConfig cfg = small_config();
+  const NegativeSampler sampler = NegativeSampler::from_degrees(data.graph);
+  Node2VecWalker<Graph> walker(data.graph, cfg.walk);
+
+  for (const std::string& backend : backend_names()) {
+    Rng rng(cfg.seed);
+    auto model = make_backend(backend, data.graph.num_nodes(), cfg, rng);
+    ASSERT_NE(model, nullptr) << backend;
+    EXPECT_EQ(model->dims(), cfg.dims) << backend;
+    EXPECT_EQ(model->num_nodes(), data.graph.num_nodes()) << backend;
+    EXPECT_FALSE(model->name().empty()) << backend;
+
+    const auto walk = walker.walk(rng, 0);
+    model->train_walk(walk, cfg.walk.window, sampler, cfg.negative_samples,
+                      cfg.negative_mode, rng);
+    const MatrixF emb = model->extract_embedding();
+    EXPECT_EQ(emb.rows(), data.graph.num_nodes()) << backend;
+    EXPECT_EQ(emb.cols(), cfg.dims) << backend;
+  }
+}
+
+TEST(BackendRegistry, FpgaFactoryRespectsTrainConfig) {
+  TrainConfig cfg = small_config();
+  cfg.dims = 16;
+  cfg.walk.walk_length = 30;
+  cfg.walk.window = 4;
+  cfg.negative_samples = 6;
+  cfg.mu = 0.02;
+  Rng rng(9);
+  auto model = make_backend("fpga", 50, cfg, rng);
+  const auto& accel = dynamic_cast<const fpga::Accelerator&>(*model);
+  EXPECT_EQ(accel.config().dims, 16u);
+  EXPECT_EQ(accel.config().walk_length, 30u);
+  EXPECT_EQ(accel.config().window, 4u);
+  EXPECT_EQ(accel.config().negative_samples, 6u);
+  EXPECT_DOUBLE_EQ(accel.config().mu, 0.02);
+}
+
+TEST(BackendRegistry, AddRegistersAndReplaces) {
+  // Use a scratch registry-like flow through the singleton with a
+  // throwaway name; replacing must not grow the name list.
+  auto& reg = BackendRegistry::instance();
+  const std::size_t before = reg.names().size();
+  reg.add("test-null", "first",
+          [](std::size_t n, const TrainConfig& cfg, Rng& rng) {
+            return make_model(ModelKind::kOselm, n, cfg, rng);
+          });
+  EXPECT_EQ(reg.names().size(), before + 1);
+  EXPECT_EQ(reg.describe("test-null"), "first");
+  reg.add("test-null", "second",
+          [](std::size_t n, const TrainConfig& cfg, Rng& rng) {
+            return make_model(ModelKind::kOselm, n, cfg, rng);
+          });
+  EXPECT_EQ(reg.names().size(), before + 1);
+  EXPECT_EQ(reg.describe("test-null"), "second");
+}
+
+}  // namespace
+}  // namespace seqge
