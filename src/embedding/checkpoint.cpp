@@ -9,6 +9,7 @@
 #include "embedding/oselm_dataflow.hpp"
 #include "embedding/oselm_skipgram.hpp"
 #include "embedding/skipgram_sgd.hpp"
+#include "fpga/accelerator.hpp"
 
 namespace seqge {
 
@@ -105,6 +106,11 @@ void save_model(std::ostream& os, const SkipGramSGD& model) {
   write_checkpoint(os, model.embeddings(), nullptr);
 }
 
+void save_model(std::ostream& os, const fpga::Accelerator& model) {
+  const MatrixF beta = model.beta_as_float();
+  write_checkpoint(os, beta, nullptr);
+}
+
 namespace {
 
 template <typename Model>
@@ -122,12 +128,26 @@ void load_into(std::istream& is, Model& model, bool want_covariance) {
 
 }  // namespace
 
-void load_model(std::istream& is, OselmSkipGram& model) {
-  load_into(is, model, /*want_covariance=*/true);
+void load_model(std::istream& is, OselmSkipGram& model,
+                bool require_covariance) {
+  load_into(is, model, require_covariance);
 }
 
-void load_model(std::istream& is, OselmSkipGramDataflow& model) {
-  load_into(is, model, /*want_covariance=*/true);
+void load_model(std::istream& is, OselmSkipGramDataflow& model,
+                bool require_covariance) {
+  load_into(is, model, require_covariance);
+}
+
+void load_model(std::istream& is, fpga::Accelerator& model) {
+  const CheckpointHeader h = read_checkpoint_header(is);
+  if (h.dims != model.dims() || h.rows != model.num_nodes()) {
+    throw std::runtime_error("checkpoint: shape mismatch with model");
+  }
+  MatrixF beta;
+  MatrixF covariance;  // consumed so the stream ends positioned correctly
+  read_checkpoint_payload(is, h, beta,
+                          h.has_covariance ? &covariance : nullptr);
+  model.load_beta(beta);
 }
 
 void save_model(const std::string& path, const OselmSkipGram& model) {

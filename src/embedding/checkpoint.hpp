@@ -22,6 +22,10 @@ class OselmSkipGram;
 class OselmSkipGramDataflow;
 class SkipGramSGD;
 
+namespace fpga {
+class Accelerator;
+}
+
 struct CheckpointHeader {
   std::size_t dims = 0;
   std::size_t rows = 0;
@@ -40,9 +44,22 @@ void read_checkpoint_payload(std::istream& is, const CheckpointHeader& h,
 void save_model(std::ostream& os, const OselmSkipGram& model);
 void save_model(std::ostream& os, const OselmSkipGramDataflow& model);
 void save_model(std::ostream& os, const SkipGramSGD& model);
+/// FPGA accelerator: beta only, dequantized from Q8.24 (P lives on the
+/// PL and is re-initialized per walk, so it is not persisted).
+void save_model(std::ostream& os, const fpga::Accelerator& model);
 
-void load_model(std::istream& is, OselmSkipGram& model);
-void load_model(std::istream& is, OselmSkipGramDataflow& model);
+/// OS-ELM loads. By default the checkpoint must carry the covariance P;
+/// pass require_covariance = false to accept a beta-only checkpoint —
+/// e.g. one written by the FPGA backend — leaving the model's current P
+/// untouched (with the default reset-P-per-walk flow, P is
+/// re-initialized before the next walk anyway).
+void load_model(std::istream& is, OselmSkipGram& model,
+                bool require_covariance = true);
+void load_model(std::istream& is, OselmSkipGramDataflow& model,
+                bool require_covariance = true);
+/// FPGA accelerator: beta re-quantized to Q8.24 on load; a covariance
+/// block, if present, is read and discarded.
+void load_model(std::istream& is, fpga::Accelerator& model);
 
 void save_model(const std::string& path, const OselmSkipGram& model);
 void load_model(const std::string& path, OselmSkipGram& model);

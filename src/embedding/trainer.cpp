@@ -91,6 +91,13 @@ void run_batched(EmbeddingModel& model, const BatchSource& src,
       stats.num_walks += batch.num_walks();
       stats.num_contexts += batch.total_contexts(src.window);
       ++stats.num_batches;
+      // Snapshot cadence: on the consumer thread, at a batch boundary,
+      // so the sink sees a fully committed model state.
+      if (pipe.snapshot_sink != nullptr && pipe.snapshot_every != 0 &&
+          stats.num_batches % pipe.snapshot_every == 0) {
+        pipe.snapshot_sink->on_snapshot(model, stats);
+        ++stats.snapshots_published;
+      }
     }
     return budget == 0 || stats.num_walks < budget;
   };
@@ -225,6 +232,10 @@ TrainStats train_all(EmbeddingModel& model, const Graph& graph,
                         batches_per_epoch};
   run_batched(model, src, cfg.epochs * batches_per_epoch, pipe, stats);
   stats.train_seconds = timer.seconds();
+  if (pipe.snapshot_sink != nullptr) {
+    pipe.snapshot_sink->on_snapshot(model, stats);
+    ++stats.snapshots_published;
+  }
   return stats;
 }
 
@@ -319,6 +330,17 @@ SequentialResult train_sequential(EmbeddingModel& model,
       ++stats.sampler_rebuilds;
       since_rebuild = 0;
     }
+
+    if (cfg.pipeline.snapshot_sink != nullptr &&
+        cfg.snapshot_every_insertions != 0 &&
+        result.insertions % cfg.snapshot_every_insertions == 0) {
+      cfg.pipeline.snapshot_sink->on_snapshot(model, stats);
+      ++stats.snapshots_published;
+    }
+  }
+  if (cfg.pipeline.snapshot_sink != nullptr) {
+    cfg.pipeline.snapshot_sink->on_snapshot(model, stats);
+    ++stats.snapshots_published;
   }
   return result;
 }

@@ -46,7 +46,22 @@ struct TrainStats {
   std::size_t num_contexts = 0;
   std::size_t num_batches = 0;       ///< train_batch calls issued
   std::size_t sampler_rebuilds = 0;  ///< alias-table rebuilds ("seq" only)
+  std::size_t snapshots_published = 0;  ///< SnapshotSink invocations
   double last_loss = 0.0;
+};
+
+/// Receives embedding snapshots from a running training loop. The
+/// trainers invoke on_snapshot on the *consumer* thread at the cadence
+/// configured in PipelineConfig / SequentialConfig, always at a batch
+/// boundary (never mid-update), so implementations may read the model
+/// freely — typically model.extract_embedding() — and hand the copy to
+/// concurrent readers. serve::EmbeddingStore is the canonical
+/// implementation; anything else (metrics exporters, eval probes) can
+/// plug in the same way.
+struct SnapshotSink {
+  virtual ~SnapshotSink() = default;
+  virtual void on_snapshot(const EmbeddingModel& model,
+                           const TrainStats& stats) = 0;
 };
 
 /// How the training pipeline is staffed and shaped. The default is the
@@ -66,6 +81,14 @@ struct PipelineConfig {
   /// queue drains and producers join cleanly when the cap hits
   /// mid-stream.
   std::size_t max_walks = 0;
+  /// Publish an embedding snapshot to `snapshot_sink` every this many
+  /// trained batches (0 = only the final snapshot). Ignored when
+  /// snapshot_sink is null.
+  std::size_t snapshot_every = 0;
+  /// Non-owning; must outlive the training call. When set, the trainers
+  /// call on_snapshot at the configured cadence plus once after the
+  /// last update, so the sink always ends holding the final state.
+  SnapshotSink* snapshot_sink = nullptr;
 
   void validate() const {
     if (batch_walks == 0) {
@@ -98,8 +121,12 @@ struct SequentialConfig {
   /// SIZE_MAX = insert every removed edge.
   std::size_t max_insertions = static_cast<std::size_t>(-1);
   /// Pipeline staffing for the initial forest phase (the insertion
-  /// stream is inherently sequential).
+  /// stream is inherently sequential). Its snapshot_sink (if any) is
+  /// shared by both phases.
   PipelineConfig pipeline{};
+  /// Publish a snapshot to pipeline.snapshot_sink every this many edge
+  /// insertions during phase 2 (0 = only the final snapshot).
+  std::size_t snapshot_every_insertions = 0;
 };
 
 struct SequentialResult {

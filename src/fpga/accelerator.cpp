@@ -225,6 +225,31 @@ double Accelerator::train_batch(const WalkBatch& batch, std::size_t window,
   return sq_err;
 }
 
+MatrixF Accelerator::beta_as_float() const {
+  MatrixF beta(num_nodes_, cfg_.dims);
+  for (std::size_t v = 0; v < num_nodes_; ++v) {
+    auto dst = beta.row(v);
+    const CoreFixed* src = dram_beta_.data() + v * cfg_.dims;
+    for (std::size_t d = 0; d < cfg_.dims; ++d) {
+      dst[d] = static_cast<float>(src[d].to_double());
+    }
+  }
+  return beta;
+}
+
+void Accelerator::load_beta(const MatrixF& beta_t) {
+  if (beta_t.rows() != num_nodes_ || beta_t.cols() != cfg_.dims) {
+    throw std::invalid_argument("Accelerator::load_beta: shape mismatch");
+  }
+  for (std::size_t v = 0; v < num_nodes_; ++v) {
+    const auto src = beta_t.row(v);
+    CoreFixed* dst = dram_beta_.data() + v * cfg_.dims;
+    for (std::size_t d = 0; d < cfg_.dims; ++d) {
+      dst[d] = CoreFixed::from_double(static_cast<double>(src[d]));
+    }
+  }
+}
+
 MatrixF Accelerator::extract_embedding() const {
   MatrixF emb(num_nodes_, cfg_.dims);
   const auto mu = static_cast<float>(cfg_.mu);

@@ -52,6 +52,16 @@ class Accelerator final : public EmbeddingModel {
   }
   [[nodiscard]] std::string name() const override { return "fpga-accel"; }
 
+  // --- checkpoint support -------------------------------------------------
+  /// Device weights dequantized to float (n x N rows, beta^T layout —
+  /// the same payload the CPU models checkpoint). Q8.24 values with
+  /// |raw| < 2^24 convert exactly, so save/load round-trips losslessly.
+  [[nodiscard]] MatrixF beta_as_float() const;
+  /// Overwrite the device weights from a float matrix, quantizing each
+  /// entry to Q8.24 (the accelerator's load half of the checkpoint
+  /// round trip). Shape must be n x N.
+  void load_beta(const MatrixF& beta_t);
+
   // --- simulation introspection -------------------------------------------
   [[nodiscard]] double simulated_seconds() const noexcept {
     return simulated_us_ * 1e-6;

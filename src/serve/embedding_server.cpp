@@ -1,0 +1,165 @@
+#include "serve/embedding_server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace seqge::serve {
+
+EmbeddingServer::EmbeddingServer(std::shared_ptr<const EmbeddingStore> store,
+                                 ServerConfig cfg)
+    : store_(std::move(store)),
+      cfg_(cfg),
+      queue_(cfg.queue_capacity == 0 ? 1 : cfg.queue_capacity) {
+  if (store_ == nullptr) {
+    throw std::invalid_argument("EmbeddingServer: null store");
+  }
+  if (cfg_.threads == 0) cfg_.threads = 1;
+  if (cfg_.latency_window == 0) cfg_.latency_window = 1 << 16;
+  latencies_us_.reserve(std::min<std::size_t>(cfg_.latency_window, 4096));
+  workers_.reserve(cfg_.threads);
+  for (std::size_t t = 0; t < cfg_.threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+EmbeddingServer::~EmbeddingServer() { drain(); }
+
+void EmbeddingServer::drain() {
+  queue_.close();
+  for (auto& th : workers_) {
+    if (th.joinable()) th.join();
+  }
+}
+
+std::future<TopKResult> EmbeddingServer::topk(NodeId u, std::size_t k) {
+  Request req;
+  req.type = RequestType::kTopK;
+  req.u = u;
+  req.k = k;
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<TopKResult> fut = req.topk_promise.get_future();
+  if (!queue_.push(std::move(req))) {
+    throw std::runtime_error("EmbeddingServer: draining, request rejected");
+  }
+  return fut;
+}
+
+std::future<ScoreResult> EmbeddingServer::score(NodeId u, NodeId v,
+                                                EdgeScore kind) {
+  Request req;
+  req.type = RequestType::kScore;
+  req.u = u;
+  req.v = v;
+  req.score_kind = kind;
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<ScoreResult> fut = req.score_promise.get_future();
+  if (!queue_.push(std::move(req))) {
+    throw std::runtime_error("EmbeddingServer: draining, request rejected");
+  }
+  return fut;
+}
+
+std::shared_ptr<const QueryEngine> EmbeddingServer::engine() {
+  const std::uint64_t live = store_->version();
+  if (live == 0) return nullptr;
+  auto cached = engine_.load(std::memory_order_acquire);
+  if (cached != nullptr && cached->version() == live) return cached;
+
+  // A rebuild (IVF: k-means over every node) can take a while; while
+  // one worker builds, the rest keep answering from the still-valid
+  // previous snapshot instead of stalling the whole pool.
+  std::unique_lock lock(rebuild_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    if (cached != nullptr) return cached;
+    lock.lock();  // no engine yet — nothing to serve, must wait
+  }
+  cached = engine_.load(std::memory_order_acquire);
+  const auto snap = store_->current();  // may be newer than `live`
+  if (cached != nullptr && cached->version() == snap->version) {
+    return cached;
+  }
+  auto built = std::make_shared<const QueryEngine>(snap, cfg_.index);
+  engine_.store(built, std::memory_order_release);
+  rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  return built;
+}
+
+void EmbeddingServer::record(const Request& req) {
+  const double us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - req.enqueued)
+          .count();
+  {
+    std::lock_guard lock(stats_mutex_);
+    if (latencies_us_.size() < cfg_.latency_window) {
+      latencies_us_.push_back(us);
+    } else {
+      latencies_us_[latency_next_] = us;
+      latency_next_ = (latency_next_ + 1) % cfg_.latency_window;
+    }
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EmbeddingServer::worker_loop() {
+  for (;;) {
+    auto item = queue_.pop();
+    if (!item) break;  // closed and drained
+    Request& req = *item;
+    try {
+      const auto eng = engine();
+      if (eng == nullptr) {
+        throw std::runtime_error(
+            "EmbeddingServer: no snapshot published yet");
+      }
+      if (req.type == RequestType::kTopK) {
+        TopKResult res;
+        res.version = eng->version();
+        res.neighbors = eng->topk(req.u, req.k, cfg_.similarity);
+        req.topk_promise.set_value(std::move(res));
+      } else {
+        ScoreResult res;
+        res.version = eng->version();
+        res.score = eng->score(req.u, req.v, req.score_kind);
+        req.score_promise.set_value(std::move(res));
+      }
+    } catch (...) {
+      auto err = std::current_exception();
+      if (req.type == RequestType::kTopK) {
+        req.topk_promise.set_exception(err);
+      } else {
+        req.score_promise.set_exception(err);
+      }
+    }
+    record(req);
+  }
+}
+
+std::uint64_t EmbeddingServer::queries_served() const {
+  return served_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t EmbeddingServer::engine_rebuilds() const {
+  return rebuilds_.load(std::memory_order_relaxed);
+}
+
+LatencySummary EmbeddingServer::latency() const {
+  std::vector<double> xs;
+  {
+    std::lock_guard lock(stats_mutex_);
+    xs = latencies_us_;
+  }
+  LatencySummary s;
+  s.count = served_.load(std::memory_order_relaxed);
+  if (xs.empty()) return s;
+  s.mean_us = mean(xs);
+  s.max_us = max_of(xs);
+  s.p50_us = percentile(xs, 0.50);
+  s.p95_us = percentile(xs, 0.95);
+  s.p99_us = percentile(xs, 0.99);
+  return s;
+}
+
+}  // namespace seqge::serve

@@ -1,0 +1,137 @@
+#pragma once
+// Multi-threaded embedding server: the request loop that turns the
+// snapshot store + query engine into something a front-end can call
+// while training runs. Requests (top-k / edge-score) enter a
+// BoundedQueue (util/bounded_queue.hpp — the same primitive that backs
+// the training pipeline); a pool of worker threads answers them against
+// the *latest* store snapshot, rebuilding the per-snapshot QueryEngine
+// exactly once per published version. Each response carries the
+// snapshot version it was answered from, so clients can observe
+// freshness, and each request's queue+service latency is recorded for
+// the percentile summary.
+//
+// Shutdown is a graceful drain: close() stops admission, workers finish
+// everything already queued (every accepted future is fulfilled), then
+// join. The destructor drains implicitly.
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/query_engine.hpp"
+#include "util/bounded_queue.hpp"
+
+namespace seqge::serve {
+
+struct ServerConfig {
+  std::size_t threads = 2;          ///< worker pool size (>= 1)
+  std::size_t queue_capacity = 1024;
+  /// Engine built for each new snapshot version. Brute force by default;
+  /// switch to kIvf for sub-linear search on large stores.
+  IndexConfig index{};
+  Similarity similarity = Similarity::kCosine;
+  /// Latency samples retained for the percentile summary (most recent
+  /// wins; 0 = keep the default window).
+  std::size_t latency_window = 1 << 16;
+};
+
+struct TopKResult {
+  std::uint64_t version = 0;  ///< snapshot the answer came from
+  std::vector<Neighbor> neighbors;
+};
+
+struct ScoreResult {
+  std::uint64_t version = 0;
+  double score = 0.0;
+};
+
+/// Latency summary, microseconds. `count` covers every answered
+/// request; the percentiles/mean/max are computed over a bounded
+/// ring of the most recent requests (ServerConfig::latency_window) so
+/// a long-running server's stats memory stays constant.
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+class EmbeddingServer {
+ public:
+  /// The store is shared with the producer (trainer) and must outlive
+  /// the server. Workers start immediately; requests submitted before
+  /// the first publish fail with std::runtime_error.
+  EmbeddingServer(std::shared_ptr<const EmbeddingStore> store,
+                  ServerConfig cfg = {});
+  ~EmbeddingServer();
+
+  EmbeddingServer(const EmbeddingServer&) = delete;
+  EmbeddingServer& operator=(const EmbeddingServer&) = delete;
+
+  /// Enqueue a top-k neighbors query for node u. Throws
+  /// std::runtime_error if the server is draining.
+  std::future<TopKResult> topk(NodeId u, std::size_t k);
+
+  /// Enqueue a link-prediction score query for candidate edge (u, v).
+  std::future<ScoreResult> score(NodeId u, NodeId v,
+                                 EdgeScore kind = EdgeScore::kCosine);
+
+  /// Stop admission, answer everything already queued, join the
+  /// workers. Idempotent; also run by the destructor.
+  void drain();
+
+  [[nodiscard]] bool draining() const noexcept { return queue_.closed(); }
+
+  /// Requests answered so far (successfully or with an error).
+  [[nodiscard]] std::uint64_t queries_served() const;
+  /// Snapshot versions the server has built engines for.
+  [[nodiscard]] std::uint64_t engine_rebuilds() const;
+  /// Percentile summary of request latency (enqueue -> response set).
+  [[nodiscard]] LatencySummary latency() const;
+
+ private:
+  enum class RequestType { kTopK, kScore };
+  struct Request {
+    RequestType type = RequestType::kTopK;
+    NodeId u = 0;
+    NodeId v = 0;
+    std::size_t k = 10;
+    EdgeScore score_kind = EdgeScore::kCosine;
+    std::chrono::steady_clock::time_point enqueued{};
+    std::promise<TopKResult> topk_promise;
+    std::promise<ScoreResult> score_promise;
+  };
+
+  void worker_loop();
+  /// Current engine, rebuilt (by exactly one worker) when the store has
+  /// published a newer version than the cached engine was built for.
+  std::shared_ptr<const QueryEngine> engine();
+  void record(const Request& req);
+
+  std::shared_ptr<const EmbeddingStore> store_;
+  ServerConfig cfg_;
+  BoundedQueue<Request> queue_;
+
+  // Engine cache: read with one atomic load on the hot path; rebuilds
+  // serialize on rebuild_mutex_ with a double-check so concurrent
+  // workers noticing the same new version build it once.
+  std::atomic<std::shared_ptr<const QueryEngine>> engine_{nullptr};
+  std::mutex rebuild_mutex_;
+  std::atomic<std::uint64_t> rebuilds_{0};
+
+  // Bounded ring of the most recent latency samples (stats stay O(1)
+  // in memory however long the server runs); guarded by stats_mutex_.
+  mutable std::mutex stats_mutex_;
+  std::vector<double> latencies_us_;
+  std::size_t latency_next_ = 0;
+  std::atomic<std::uint64_t> served_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace seqge::serve

@@ -1,0 +1,83 @@
+#include "serve/embedding_store.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "embedding/checkpoint.hpp"
+#include "embedding/model.hpp"
+
+namespace seqge::serve {
+
+std::uint64_t EmbeddingStore::publish(MatrixF embedding,
+                                      std::uint64_t walks_trained,
+                                      std::string producer) {
+  if (embedding.empty()) {
+    throw std::invalid_argument("EmbeddingStore::publish: empty embedding");
+  }
+  auto snap = std::make_shared<Snapshot>();
+  snap->embedding = std::move(embedding);
+  snap->walks_trained = walks_trained;
+  snap->producer = std::move(producer);
+
+  std::uint64_t assigned = 0;
+  {
+    std::lock_guard lock(publish_mutex_);
+    assigned = version_.load(std::memory_order_relaxed) + 1;
+    snap->version = assigned;
+    // Readers that loaded the old head keep it alive through their own
+    // shared_ptr; this store is the only mutation, and it is atomic.
+    head_.store(std::move(snap), std::memory_order_release);
+    version_.store(assigned, std::memory_order_release);
+  }
+  version_cv_.notify_all();
+  return assigned;
+}
+
+bool EmbeddingStore::wait_for_version(
+    std::uint64_t v, std::chrono::milliseconds timeout) const {
+  std::unique_lock lock(publish_mutex_);
+  return version_cv_.wait_for(lock, timeout, [&] {
+    return version_.load(std::memory_order_acquire) >= v;
+  });
+}
+
+void EmbeddingStore::on_snapshot(const EmbeddingModel& model,
+                                 const TrainStats& stats) {
+  publish(model.extract_embedding(), stats.num_walks, model.name());
+}
+
+void EmbeddingStore::save(std::ostream& os) const {
+  const auto snap = current();
+  if (snap == nullptr) {
+    throw std::runtime_error("EmbeddingStore::save: no snapshot published");
+  }
+  write_checkpoint(os, snap->embedding, nullptr);
+}
+
+void EmbeddingStore::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw std::runtime_error("EmbeddingStore::save: cannot open " + path);
+  }
+  save(os);
+}
+
+std::uint64_t EmbeddingStore::load(std::istream& is, std::string producer) {
+  const CheckpointHeader h = read_checkpoint_header(is);
+  MatrixF beta;
+  MatrixF covariance;  // read-and-discard keeps the stream consumable
+  read_checkpoint_payload(is, h, beta,
+                          h.has_covariance ? &covariance : nullptr);
+  return publish(std::move(beta), 0, std::move(producer));
+}
+
+std::uint64_t EmbeddingStore::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("EmbeddingStore::load: cannot open " + path);
+  }
+  return load(is, path);
+}
+
+}  // namespace seqge::serve

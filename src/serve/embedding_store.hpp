@@ -1,0 +1,112 @@
+#pragma once
+// Versioned snapshot store decoupling online training from query
+// serving — the host-side half of the board split (the PL/trainer
+// produces embedding versions, the PS/server answers queries against
+// them). Publication is RCU-style: a publisher builds a complete
+// immutable Snapshot off to the side, then swaps one
+// std::atomic<std::shared_ptr<const Snapshot>> head. Readers acquire
+// the head with a single atomic load and hold a reference for as long
+// as the query runs; they never block the publisher and never observe a
+// partially written ("torn") embedding, and old snapshots are reclaimed
+// automatically when the last reader drops its reference.
+//
+// EmbeddingStore implements SnapshotSink, so the training pipelines
+// (trainer.hpp, PipelineConfig::snapshot_sink) publish into it directly
+// at a configurable cadence. Snapshots also round-trip through the
+// binary checkpoint format (embedding/checkpoint.hpp), so a store can
+// be warmed from a file written by any backend — including the FPGA
+// accelerator, whose Q8.24 weights dequantize on save.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "embedding/trainer.hpp"
+#include "linalg/matrix.hpp"
+
+namespace seqge::serve {
+
+/// One published embedding version. Immutable after publication — the
+/// store hands out shared_ptr<const Snapshot> and never mutates a
+/// snapshot in place.
+struct Snapshot {
+  std::uint64_t version = 0;        ///< monotonically increasing, from 1
+  MatrixF embedding;                ///< one row per node
+  std::uint64_t walks_trained = 0;  ///< producer progress when captured
+  std::string producer;             ///< model name, for observability
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return embedding.rows();
+  }
+  [[nodiscard]] std::size_t dims() const noexcept {
+    return embedding.cols();
+  }
+};
+
+class EmbeddingStore final : public SnapshotSink {
+ public:
+  EmbeddingStore() = default;
+  EmbeddingStore(const EmbeddingStore&) = delete;
+  EmbeddingStore& operator=(const EmbeddingStore&) = delete;
+
+  /// Publish a new version (takes ownership of the matrix; version is
+  /// assigned by the store). Publishers are serialized against each
+  /// other; readers are never blocked. Returns the assigned version.
+  std::uint64_t publish(MatrixF embedding, std::uint64_t walks_trained = 0,
+                        std::string producer = {});
+
+  /// The latest snapshot, or nullptr before the first publish. One
+  /// atomic load; the caller's shared_ptr keeps the snapshot alive for
+  /// the duration of its query regardless of later publishes.
+  [[nodiscard]] std::shared_ptr<const Snapshot> current() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Latest published version (0 before the first publish).
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Total snapshots published over the store's lifetime (== version()).
+  [[nodiscard]] std::uint64_t snapshots_published() const noexcept {
+    return version();
+  }
+
+  /// Block until version() >= v. Returns false on timeout. Lets a
+  /// serving thread wait for the trainer's first publication instead of
+  /// spinning.
+  bool wait_for_version(std::uint64_t v,
+                        std::chrono::milliseconds timeout) const;
+
+  // --- SnapshotSink -------------------------------------------------------
+  /// Publish model.extract_embedding(); called by the trainers on the
+  /// consumer thread at the configured cadence.
+  void on_snapshot(const EmbeddingModel& model,
+                   const TrainStats& stats) override;
+
+  // --- checkpoint persistence ---------------------------------------------
+  /// Write the current snapshot in the binary checkpoint format
+  /// (beta = embedding, no covariance). Throws if the store is empty.
+  void save(std::ostream& os) const;
+  void save(const std::string& path) const;
+  /// Read a checkpoint (any payload kind; a covariance block, if
+  /// present, is skipped) and publish it as the next version. Returns
+  /// the assigned version.
+  std::uint64_t load(std::istream& is, std::string producer = "checkpoint");
+  std::uint64_t load(const std::string& path);
+
+ private:
+  std::atomic<std::shared_ptr<const Snapshot>> head_{nullptr};
+  std::atomic<std::uint64_t> version_{0};
+  // Serializes publishers and backs wait_for_version. Readers never
+  // take this mutex.
+  mutable std::mutex publish_mutex_;
+  mutable std::condition_variable version_cv_;
+};
+
+}  // namespace seqge::serve

@@ -1,0 +1,281 @@
+#include "serve/query_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace seqge::serve {
+
+namespace {
+
+/// Fixed-capacity top-k accumulator: a min-heap on score keeps the k
+/// best seen so far, so a full scan is O(n log k).
+class TopK {
+ public:
+  explicit TopK(std::size_t k) : k_(k) { heap_.reserve(k + 1); }
+
+  void offer(NodeId node, float score) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back({node, score});
+      std::push_heap(heap_.begin(), heap_.end(), worse);
+    } else if (score > heap_.front().score) {
+      std::pop_heap(heap_.begin(), heap_.end(), worse);
+      heap_.back() = {node, score};
+      std::push_heap(heap_.begin(), heap_.end(), worse);
+    }
+  }
+
+  /// Best first; ties broken by node id for deterministic output.
+  [[nodiscard]] std::vector<Neighbor> take() {
+    std::sort(heap_.begin(), heap_.end(), [](const Neighbor& a,
+                                             const Neighbor& b) {
+      return a.score != b.score ? a.score > b.score : a.node < b.node;
+    });
+    return std::move(heap_);
+  }
+
+ private:
+  static bool worse(const Neighbor& a, const Neighbor& b) {
+    return a.score != b.score ? a.score > b.score : a.node < b.node;
+  }
+  std::size_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+void normalize_rows(MatrixF& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.row(r);
+    const auto n = static_cast<float>(l2_norm<float>(row));
+    if (n > 0.0f) scale(1.0f / n, row);
+  }
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(std::shared_ptr<const Snapshot> snapshot,
+                         IndexConfig cfg)
+    : snap_(std::move(snapshot)), cfg_(cfg) {
+  if (snap_ == nullptr) {
+    throw std::invalid_argument("QueryEngine: null snapshot");
+  }
+  if (snap_->embedding.empty()) {
+    throw std::invalid_argument("QueryEngine: empty snapshot embedding");
+  }
+  normalized_ = snap_->embedding;
+  normalize_rows(normalized_);
+  if (cfg_.kind == IndexConfig::Kind::kIvf) build_ivf();
+}
+
+void QueryEngine::build_ivf() {
+  const std::size_t n = normalized_.rows();
+  const std::size_t dims = normalized_.cols();
+  std::size_t nlist = cfg_.nlist != 0
+                          ? cfg_.nlist
+                          : static_cast<std::size_t>(
+                                std::sqrt(static_cast<double>(n)));
+  nlist = std::clamp<std::size_t>(nlist, 1, n);
+
+  Rng rng(cfg_.seed);
+
+  // Train the quantizer on a sample (assignment below always uses every
+  // row); spherical k-means — centroids re-normalized each iteration so
+  // "nearest centroid" is a plain dot product.
+  std::size_t sample = cfg_.kmeans_sample != 0 ? cfg_.kmeans_sample
+                                               : 64 * nlist;
+  sample = std::min(sample, n);
+  std::vector<std::uint32_t> train_rows(n);
+  std::iota(train_rows.begin(), train_rows.end(), 0u);
+  for (std::size_t i = 0; i < sample; ++i) {
+    std::swap(train_rows[i], train_rows[i + rng.bounded(n - i)]);
+  }
+  train_rows.resize(sample);
+
+  centroids_ = MatrixF(nlist, dims);
+  for (std::size_t c = 0; c < nlist; ++c) {
+    copy<float>(normalized_.row(train_rows[c % sample]), centroids_.row(c));
+  }
+
+  std::vector<std::uint32_t> assign(sample, 0);
+  for (std::size_t iter = 0; iter < cfg_.kmeans_iters; ++iter) {
+    for (std::size_t i = 0; i < sample; ++i) {
+      const auto row = normalized_.row(train_rows[i]);
+      std::size_t best = 0;
+      float best_dot = -2.0f;
+      for (std::size_t c = 0; c < nlist; ++c) {
+        const float d = dot<float>(centroids_.row(c), row);
+        if (d > best_dot) {
+          best_dot = d;
+          best = c;
+        }
+      }
+      assign[i] = static_cast<std::uint32_t>(best);
+    }
+    centroids_.fill(0.0f);
+    std::vector<std::uint32_t> counts(nlist, 0);
+    for (std::size_t i = 0; i < sample; ++i) {
+      axpy<float>(1.0f, normalized_.row(train_rows[i]),
+           centroids_.row(assign[i]));
+      ++counts[assign[i]];
+    }
+    for (std::size_t c = 0; c < nlist; ++c) {
+      if (counts[c] == 0) {
+        // Empty cell: reseed from a random training row.
+        copy<float>(normalized_.row(train_rows[rng.bounded(sample)]),
+             centroids_.row(c));
+      }
+    }
+    normalize_rows(centroids_);
+  }
+
+  // Full assignment pass over every row -> CSR member lists.
+  std::vector<std::uint32_t> cell(n);
+#pragma omp parallel for if (n > 4096) schedule(static)
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = normalized_.row(r);
+    std::size_t best = 0;
+    float best_dot = -2.0f;
+    for (std::size_t c = 0; c < nlist; ++c) {
+      const float d = dot<float>(centroids_.row(c), row);
+      if (d > best_dot) {
+        best_dot = d;
+        best = c;
+      }
+    }
+    cell[r] = static_cast<std::uint32_t>(best);
+  }
+  list_off_.assign(nlist + 1, 0);
+  for (std::size_t r = 0; r < n; ++r) ++list_off_[cell[r] + 1];
+  for (std::size_t c = 0; c < nlist; ++c) list_off_[c + 1] += list_off_[c];
+  list_nodes_.resize(n);
+  std::vector<std::uint32_t> cursor(list_off_.begin(), list_off_.end() - 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    list_nodes_[cursor[cell[r]]++] = static_cast<std::uint32_t>(r);
+  }
+  // Re-pack rows in list order: a probed cell is then one sequential
+  // stripe instead of a gather over the whole matrix.
+  packed_rows_ = MatrixF(n, dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    copy<float>(normalized_.row(list_nodes_[i]), packed_rows_.row(i));
+  }
+}
+
+std::vector<Neighbor> QueryEngine::scan_topk(
+    std::span<const float> query, std::size_t k, Similarity sim,
+    NodeId exclude, std::span<const std::uint32_t> candidates) const {
+  const MatrixF& rows =
+      sim == Similarity::kCosine ? normalized_ : snap_->embedding;
+  TopK top(k);
+  if (candidates.empty()) {
+    for (std::size_t r = 0; r < rows.rows(); ++r) {
+      if (r == exclude) continue;
+      top.offer(static_cast<NodeId>(r), dot<float>(rows.row(r), query));
+    }
+  } else {
+    for (std::uint32_t r : candidates) {
+      if (r == exclude) continue;
+      top.offer(r, dot<float>(rows.row(r), query));
+    }
+  }
+  return top.take();
+}
+
+std::vector<Neighbor> QueryEngine::topk(std::span<const float> query,
+                                        std::size_t k, Similarity sim,
+                                        NodeId exclude,
+                                        std::size_t nprobe_override) const {
+  if (query.size() != snap_->dims()) {
+    throw std::invalid_argument("QueryEngine::topk: query dims mismatch");
+  }
+  std::vector<float> unit;
+  std::span<const float> q = query;
+  if (sim == Similarity::kCosine) {
+    unit.assign(query.begin(), query.end());
+    const auto n = static_cast<float>(l2_norm<float>(query));
+    if (n > 0.0f) scale(1.0f / n, std::span<float>(unit));
+    q = unit;
+  }
+
+  // IVF search is cosine-ordered; dot falls back to the exact scan.
+  if (cfg_.kind == IndexConfig::Kind::kIvf &&
+      sim == Similarity::kCosine && !centroids_.empty()) {
+    const std::size_t nlist = centroids_.rows();
+    const std::size_t nprobe = std::min(
+        nlist, nprobe_override != 0 ? nprobe_override : cfg_.nprobe);
+    if (nprobe < nlist) {
+      // Rank cells by centroid similarity, then scan the nprobe best —
+      // each a contiguous stripe of packed_rows_.
+      std::vector<Neighbor> cells;
+      {
+        TopK cell_top(nprobe);
+        for (std::size_t c = 0; c < nlist; ++c) {
+          cell_top.offer(static_cast<NodeId>(c),
+                         dot<float>(centroids_.row(c), q));
+        }
+        cells = cell_top.take();
+      }
+      TopK top(k);
+      for (const Neighbor& cell : cells) {
+        for (std::uint32_t i = list_off_[cell.node];
+             i < list_off_[cell.node + 1]; ++i) {
+          const std::uint32_t r = list_nodes_[i];
+          if (r == exclude) continue;
+          top.offer(r, dot<float>(packed_rows_.row(i), q));
+        }
+      }
+      return top.take();
+    }
+  }
+  return scan_topk(q, k, sim, exclude, {});
+}
+
+std::vector<Neighbor> QueryEngine::topk(NodeId u, std::size_t k,
+                                        Similarity sim,
+                                        std::size_t nprobe_override) const {
+  if (u >= snap_->num_nodes()) {
+    throw std::invalid_argument("QueryEngine::topk: node out of range");
+  }
+  // Route through the raw row: the span overload re-normalizes for
+  // cosine, which is a no-op for already-unit rows but keeps one path.
+  return topk(snap_->embedding.row(u), k, sim, u, nprobe_override);
+}
+
+std::vector<std::vector<Neighbor>> QueryEngine::topk_batch(
+    std::span<const NodeId> nodes, std::size_t k, Similarity sim) const {
+  std::vector<std::vector<Neighbor>> out(nodes.size());
+  // An exception crossing an OpenMP region boundary terminates the
+  // process; capture the first one and rethrow on the calling thread.
+  std::exception_ptr error = nullptr;
+#pragma omp parallel for if (nodes.size() > 8) schedule(dynamic)
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    try {
+      out[i] = topk(nodes[i], k, sim);
+    } catch (...) {
+#pragma omp critical(seqge_topk_batch_error)
+      if (error == nullptr) error = std::current_exception();
+    }
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+  return out;
+}
+
+double recall_at_k(std::span<const Neighbor> exact,
+                   std::span<const Neighbor> approx) {
+  if (exact.empty()) return 1.0;
+  std::size_t hits = 0;
+  for (const Neighbor& e : exact) {
+    for (const Neighbor& a : approx) {
+      if (a.node == e.node) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(exact.size());
+}
+
+}  // namespace seqge::serve

@@ -1,0 +1,137 @@
+#pragma once
+// Read-side query engine over one immutable embedding snapshot. Holds a
+// shared_ptr<const Snapshot> (serve/embedding_store.hpp), so the
+// snapshot outlives any in-flight query even after the store moves on.
+// All query methods are const and safe to call from many threads at
+// once — per-call scratch lives on the caller's stack.
+//
+// Two k-NN paths:
+//  * exact brute force — every row scored with the dense kernels of
+//    linalg/kernels.hpp (dot or cosine; cosine uses rows L2-normalized
+//    once at construction, so a query is a pure dot scan);
+//  * IVF (inverted-file) — a coarse spherical k-means quantizer built
+//    per snapshot partitions the nodes into nlist cells; a query scores
+//    the nlist centroids, then scans only the nprobe nearest cells.
+//    Sub-linear in n, with recall controlled by nprobe (nprobe == nlist
+//    degenerates to an exact scan). IVF search is cosine-ordered; dot
+//    queries always take the exact path.
+//
+// Link-prediction scoring reuses the eval/ scorers (EdgeScore,
+// score_edge) so a served score is bit-identical to the offline
+// evaluation's.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "eval/link_prediction.hpp"
+#include "linalg/matrix.hpp"
+#include "serve/embedding_store.hpp"
+
+namespace seqge::serve {
+
+struct Neighbor {
+  NodeId node = 0;
+  float score = 0.0f;
+};
+
+enum class Similarity { kCosine, kDot };
+
+struct IndexConfig {
+  enum class Kind { kBruteForce, kIvf };
+  Kind kind = Kind::kBruteForce;
+  /// Coarse cells for the IVF index; 0 = ~sqrt(num_nodes), clamped to
+  /// [1, num_nodes].
+  std::size_t nlist = 0;
+  /// Cells scanned per query (clamped to nlist). Larger = higher recall,
+  /// slower.
+  std::size_t nprobe = 8;
+  /// Lloyd iterations for the spherical k-means quantizer.
+  std::size_t kmeans_iters = 6;
+  /// Rows used to train the quantizer (assignment always uses all rows);
+  /// 0 = min(num_nodes, 64 * nlist).
+  std::size_t kmeans_sample = 0;
+  std::uint64_t seed = 1;
+};
+
+class QueryEngine {
+ public:
+  /// Builds the per-snapshot state (normalized rows; the IVF index when
+  /// cfg.kind == kIvf). Throws on a null snapshot.
+  explicit QueryEngine(std::shared_ptr<const Snapshot> snapshot,
+                       IndexConfig cfg = {});
+
+  [[nodiscard]] const Snapshot& snapshot() const noexcept { return *snap_; }
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return snap_->version;
+  }
+  [[nodiscard]] const IndexConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return snap_->num_nodes();
+  }
+  [[nodiscard]] std::size_t nlist() const noexcept {
+    return centroids_.rows();
+  }
+
+  /// Top-k most similar nodes to node u (u itself excluded), best
+  /// first. k is clamped to the number of candidates.
+  [[nodiscard]] std::vector<Neighbor> topk(
+      NodeId u, std::size_t k, Similarity sim = Similarity::kCosine,
+      std::size_t nprobe_override = 0) const;
+
+  /// Top-k against an arbitrary query vector (dims entries).
+  /// `exclude` removes one node id from the results (pass num_nodes()
+  /// or anything out of range to keep all).
+  [[nodiscard]] std::vector<Neighbor> topk(
+      std::span<const float> query, std::size_t k,
+      Similarity sim = Similarity::kCosine, NodeId exclude = ~NodeId{0},
+      std::size_t nprobe_override = 0) const;
+
+  /// Batch top-k for many source nodes (OpenMP-parallel over queries —
+  /// the serving analogue of the trainer's batched walks).
+  [[nodiscard]] std::vector<std::vector<Neighbor>> topk_batch(
+      std::span<const NodeId> nodes, std::size_t k,
+      Similarity sim = Similarity::kCosine) const;
+
+  /// Link-prediction score of candidate edge (u, v) — exactly
+  /// eval/link_prediction.hpp's score_edge on this snapshot.
+  [[nodiscard]] double score(NodeId u, NodeId v,
+                             EdgeScore kind = EdgeScore::kCosine) const {
+    return score_edge(snap_->embedding, u, v, kind);
+  }
+
+  /// ROC-AUC of held-out edges vs sampled non-edges on this snapshot
+  /// (the eval/ link-prediction harness, served online).
+  [[nodiscard]] double link_prediction_auc(const Graph& observed_graph,
+                                           std::span<const Edge> held_out,
+                                           EdgeScore kind, Rng& rng) const {
+    return seqge::link_prediction_auc(snap_->embedding, observed_graph,
+                                      held_out, kind, rng);
+  }
+
+ private:
+  void build_ivf();
+  [[nodiscard]] std::vector<Neighbor> scan_topk(
+      std::span<const float> query, std::size_t k, Similarity sim,
+      NodeId exclude, std::span<const std::uint32_t> candidates) const;
+
+  std::shared_ptr<const Snapshot> snap_;
+  IndexConfig cfg_;
+  MatrixF normalized_;  ///< rows L2-normalized (zero rows stay zero)
+  // IVF state (empty unless cfg_.kind == kIvf): spherical k-means
+  // centroids (unit rows), CSR member lists, and the normalized rows
+  // re-packed in list order so a probed cell scans contiguously.
+  MatrixF centroids_;
+  std::vector<std::uint32_t> list_off_;
+  std::vector<std::uint32_t> list_nodes_;
+  MatrixF packed_rows_;  ///< row i = normalized_.row(list_nodes_[i])
+};
+
+/// recall@k of `approx` against exact ground truth `exact`: fraction of
+/// the exact set present in the approximate set. Used by the serving
+/// bench and tests to validate IVF tuning.
+[[nodiscard]] double recall_at_k(std::span<const Neighbor> exact,
+                                 std::span<const Neighbor> approx);
+
+}  // namespace seqge::serve

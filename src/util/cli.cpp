@@ -21,6 +21,12 @@ void ArgParser::add_int(const std::string& name, std::int64_t* target,
       {name, Kind::kInt, target, help, std::to_string(*target), {}});
 }
 
+void ArgParser::add_size(const std::string& name, std::size_t* target,
+                         const std::string& help) {
+  options_.push_back(
+      {name, Kind::kSize, target, help, std::to_string(*target), {}});
+}
+
 void ArgParser::add_double(const std::string& name, double* target,
                            const std::string& help) {
   options_.push_back(
@@ -63,6 +69,16 @@ bool ArgParser::set_value(Option& opt, const std::string& value) {
       case Kind::kInt:
         *static_cast<std::int64_t*>(opt.target) = std::stoll(value);
         return true;
+      case Kind::kSize: {
+        // stoull happily wraps negatives; reject them explicitly.
+        if (value.find('-') != std::string::npos) return false;
+        std::size_t consumed = 0;
+        const unsigned long long v = std::stoull(value, &consumed);
+        if (consumed != value.size()) return false;
+        *static_cast<std::size_t*>(opt.target) =
+            static_cast<std::size_t>(v);
+        return true;
+      }
       case Kind::kDouble:
         *static_cast<double*>(opt.target) = std::stod(value);
         return true;
@@ -146,6 +162,25 @@ void ArgParser::print_usage() const {
   if (!description_.empty()) std::fprintf(stderr, "%s\n", description_.c_str());
   std::fprintf(stderr, "options:\n");
   for (const auto& opt : options_) {
+    std::string lhs = opt.name;
+    switch (opt.kind) {
+      case Kind::kFlag:
+        break;
+      case Kind::kInt:
+        lhs += " <int>";
+        break;
+      case Kind::kSize:
+        lhs += " <count>";
+        break;
+      case Kind::kDouble:
+        lhs += " <float>";
+        break;
+      case Kind::kString:
+        lhs += " <str>";
+        break;
+      case Kind::kChoice:
+        break;
+    }
     if (opt.kind == Kind::kChoice) {
       std::string allowed;
       for (const auto& c : opt.choices) {
@@ -153,10 +188,10 @@ void ArgParser::print_usage() const {
         allowed += c;
       }
       std::fprintf(stderr, "  --%-24s %s (one of: %s; default: %s)\n",
-                   opt.name.c_str(), opt.help.c_str(), allowed.c_str(),
+                   lhs.c_str(), opt.help.c_str(), allowed.c_str(),
                    opt.default_repr.c_str());
     } else {
-      std::fprintf(stderr, "  --%-24s %s (default: %s)\n", opt.name.c_str(),
+      std::fprintf(stderr, "  --%-24s %s (default: %s)\n", lhs.c_str(),
                    opt.help.c_str(), opt.default_repr.c_str());
     }
   }

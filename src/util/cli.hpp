@@ -22,6 +22,10 @@ class ArgParser {
                 const std::string& help);
   void add_int(const std::string& name, std::int64_t* target,
                const std::string& help);
+  /// Non-negative count option (std::size_t) — sizes, thread counts,
+  /// cadences. Negative values are rejected at parse time.
+  void add_size(const std::string& name, std::size_t* target,
+                const std::string& help);
   void add_double(const std::string& name, double* target,
                   const std::string& help);
   void add_string(const std::string& name, std::string* target,
@@ -43,7 +47,7 @@ class ArgParser {
   void print_usage() const;
 
  private:
-  enum class Kind { kFlag, kInt, kDouble, kString, kChoice };
+  enum class Kind { kFlag, kInt, kSize, kDouble, kString, kChoice };
   struct Option {
     std::string name;
     Kind kind;

@@ -39,6 +39,27 @@ namespace seqge {
   return 0.5 * (hi + xs[mid - 1]);
 }
 
+/// q-th percentile (q in [0, 1]) by linear interpolation between order
+/// statistics — the convention serving dashboards use for p50/p95/p99.
+/// 0 for an empty sample.
+[[nodiscard]] inline double percentile(std::vector<double> xs,
+                                       double q) noexcept {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(lo),
+                   xs.end());
+  const double a = xs[lo];
+  if (lo + 1 >= xs.size()) return a;
+  const double frac = pos - static_cast<double>(lo);
+  if (frac == 0.0) return a;
+  const double b =
+      *std::min_element(xs.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+                        xs.end());
+  return a + frac * (b - a);
+}
+
 [[nodiscard]] inline double min_of(std::span<const double> xs) noexcept {
   double m = xs.empty() ? 0.0 : xs[0];
   for (double x : xs) m = std::min(m, x);

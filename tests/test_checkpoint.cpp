@@ -3,14 +3,19 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 
 #include "embedding/checkpoint.hpp"
 #include "embedding/oselm_dataflow.hpp"
 #include "embedding/oselm_skipgram.hpp"
 #include "embedding/skipgram_sgd.hpp"
+#include "fpga/accelerator.hpp"
+#include "fpga/config.hpp"
 #include "linalg/kernels.hpp"
 #include "sampling/negative_sampler.hpp"
+#include "serve/embedding_store.hpp"
+#include "serve/query_engine.hpp"
 #include "util/rng.hpp"
 
 namespace seqge {
@@ -113,6 +118,100 @@ TEST(Checkpoint, TruncatedPayloadRejected) {
   opts.dims = 8;
   OselmSkipGram restored(20, opts, rng);
   EXPECT_THROW(load_model(half, restored), std::runtime_error);
+}
+
+namespace {
+
+/// A lightly trained FPGA accelerator (Q8.24 device weights).
+fpga::Accelerator trained_accelerator(std::size_t num_nodes,
+                                      const fpga::AcceleratorConfig& cfg,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  fpga::Accelerator accel(num_nodes, cfg, rng);
+  const std::vector<std::uint64_t> counts(num_nodes, 1);
+  NegativeSampler sampler(counts);
+  std::vector<NodeId> walk(cfg.walk_length);
+  for (int w = 0; w < 40; ++w) {
+    for (auto& v : walk) {
+      v = static_cast<NodeId>(rng.bounded(num_nodes));
+    }
+    accel.train_walk(walk, cfg.window, sampler, cfg.negative_samples,
+                     NegativeMode::kPerWalk, rng);
+  }
+  return accel;
+}
+
+}  // namespace
+
+TEST(Checkpoint, FpgaRoundTripIsLossless) {
+  fpga::AcceleratorConfig cfg = fpga::AcceleratorConfig::for_dims(8);
+  cfg.walk_length = 12;
+  cfg.window = 4;
+  cfg.negative_samples = 3;
+  const fpga::Accelerator accel = trained_accelerator(34, cfg, 21);
+
+  std::stringstream ss;
+  save_model(ss, accel);
+  const CheckpointHeader h = read_checkpoint_header(ss);
+  EXPECT_EQ(h.dims, 8u);
+  EXPECT_EQ(h.rows, 34u);
+  EXPECT_FALSE(h.has_covariance);
+
+  ss.seekg(0);
+  Rng rng(99);  // different init — must be fully overwritten by the load
+  fpga::Accelerator restored(34, cfg, rng);
+  load_model(ss, restored);
+  // Q8.24 -> float -> Q8.24 for trained-scale values round-trips to
+  // within one float32 ulp of the fixed-point grid.
+  EXPECT_LE(max_abs_diff(restored.beta_as_float(), accel.beta_as_float()),
+            1e-5);
+  EXPECT_LE(max_abs_diff(restored.extract_embedding(),
+                         accel.extract_embedding()),
+            1e-5);
+}
+
+TEST(Checkpoint, FpgaCheckpointServedThroughOselmAgreesOnKnn) {
+  // The serving handoff: the FPGA backend trains online and checkpoints
+  // its Q8.24 weights; a CPU-side oselm model loads the (beta-only)
+  // checkpoint and a QueryEngine serves k-NN from either. Results must
+  // agree within quantization tolerance.
+  constexpr std::size_t kNodes = 60;
+  fpga::AcceleratorConfig cfg = fpga::AcceleratorConfig::for_dims(16);
+  cfg.walk_length = 16;
+  cfg.window = 4;
+  cfg.negative_samples = 5;
+  const fpga::Accelerator accel = trained_accelerator(kNodes, cfg, 31);
+
+  std::stringstream ss;
+  save_model(ss, accel);
+
+  Rng rng(7);
+  OselmSkipGram::Options opts;
+  opts.dims = 16;
+  opts.mu = cfg.mu;
+  OselmSkipGram oselm(kNodes, opts, rng);
+  // Beta-only checkpoint: covariance requirement must be relaxed…
+  std::stringstream strict(ss.str());
+  EXPECT_THROW(load_model(strict, oselm), std::runtime_error);
+  // …and the relaxed load accepts it.
+  std::stringstream relaxed(ss.str());
+  load_model(relaxed, oselm, /*require_covariance=*/false);
+
+  auto fpga_snap = std::make_shared<serve::Snapshot>();
+  fpga_snap->version = 1;
+  fpga_snap->embedding = accel.extract_embedding();
+  auto cpu_snap = std::make_shared<serve::Snapshot>();
+  cpu_snap->version = 1;
+  cpu_snap->embedding = oselm.extract_embedding();
+
+  const serve::QueryEngine fpga_engine(fpga_snap);
+  const serve::QueryEngine cpu_engine(cpu_snap);
+  double recall_sum = 0.0;
+  for (NodeId u = 0; u < kNodes; ++u) {
+    recall_sum += serve::recall_at_k(fpga_engine.topk(u, 10),
+                                     cpu_engine.topk(u, 10));
+  }
+  EXPECT_GE(recall_sum / kNodes, 0.9);
 }
 
 TEST(Checkpoint, ResumedTrainingMatchesUninterrupted) {
