@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Fail on dead relative links in the repo's markdown docs.
+#
+# Scans README.md and docs/*.md for [text](target) links, resolves each
+# relative target against the file that contains it, and exits non-zero
+# listing every target that does not exist. External links (http/https/
+# mailto) and pure in-page anchors (#...) are skipped; a trailing
+# #anchor on a file link is stripped before the existence check.
+#
+#   ./scripts/check_doc_links.sh   # run from anywhere inside the repo
+
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root" || exit 1
+
+docs=(README.md)
+while IFS= read -r f; do docs+=("$f"); done < <(find docs -name '*.md' 2>/dev/null | sort)
+
+fail=0
+checked=0
+for doc in "${docs[@]}"; do
+  [ -f "$doc" ] || continue
+  dir="$(dirname "$doc")"
+  # Extract every (...) target of a markdown link.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;  # external
+      '#'*) continue ;;                          # in-page anchor
+    esac
+    path="${target%%#*}"                         # strip #anchor
+    [ -n "$path" ] || continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ]; then
+      echo "DEAD LINK: $doc -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc link check failed" >&2
+  exit 1
+fi
+echo "doc link check passed ($checked relative links across ${#docs[@]} files)"

@@ -1,5 +1,6 @@
 #include "embedding/model.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "embedding/oselm_dataflow.hpp"
@@ -8,6 +9,21 @@
 #include "walk/walk_batch.hpp"
 
 namespace seqge {
+
+void EmbeddingModel::extract_rows(std::span<const NodeId> nodes,
+                                  MatrixF& out) const {
+  if (out.rows() != nodes.size() || out.cols() != dims()) {
+    throw std::invalid_argument("extract_rows: out shape mismatch");
+  }
+  // Fallback for backends without a sparse path: materialize everything
+  // and slice. Correct but O(n x dims) — the built-ins all override.
+  const MatrixF full = extract_embedding();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    auto src = full.row(nodes[i]);
+    auto dst = out.row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+}
 
 double EmbeddingModel::train_batch(const WalkBatch& batch,
                                    std::size_t window,
@@ -69,6 +85,14 @@ class SgdAdapter final : public EmbeddingModel {
   [[nodiscard]] MatrixF extract_embedding() const override {
     return model_.embeddings();
   }
+  void extract_rows(std::span<const NodeId> nodes,
+                    MatrixF& out) const override {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const auto src = model_.embedding(nodes[i]);
+      auto dst = out.row(i);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
   [[nodiscard]] std::size_t dims() const override { return model_.dims(); }
   [[nodiscard]] std::size_t num_nodes() const override {
     return model_.num_nodes();
@@ -107,6 +131,10 @@ class OselmAdapter final : public EmbeddingModel {
   }
   [[nodiscard]] MatrixF extract_embedding() const override {
     return model_.extract_embedding();
+  }
+  void extract_rows(std::span<const NodeId> nodes,
+                    MatrixF& out) const override {
+    model_.extract_rows(nodes, out);
   }
   [[nodiscard]] std::size_t dims() const override { return model_.dims(); }
   [[nodiscard]] std::size_t num_nodes() const override {
@@ -149,6 +177,10 @@ class DataflowAdapter final : public EmbeddingModel {
   }
   [[nodiscard]] MatrixF extract_embedding() const override {
     return model_.extract_embedding();
+  }
+  void extract_rows(std::span<const NodeId> nodes,
+                    MatrixF& out) const override {
+    model_.extract_rows(nodes, out);
   }
   [[nodiscard]] std::size_t dims() const override { return model_.dims(); }
   [[nodiscard]] std::size_t num_nodes() const override {

@@ -94,4 +94,14 @@ MatrixF OselmSkipGramDataflow::extract_embedding() const {
   return emb;
 }
 
+void OselmSkipGramDataflow::extract_rows(std::span<const NodeId> nodes,
+                                         MatrixF& out) const {
+  const auto mu = static_cast<float>(opts_.mu);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    auto src = beta_t_.row(nodes[i]);
+    auto dst = out.row(i);
+    for (std::size_t d = 0; d < dims(); ++d) dst[d] = mu * src[d];
+  }
+}
+
 }  // namespace seqge

@@ -6,6 +6,7 @@
 // slot index is persistent across walks (O(1) clears via the dirty
 // list), so repeated train_walk calls cost O(touched), not O(n).
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -14,6 +15,51 @@
 #include "linalg/matrix.hpp"
 
 namespace seqge {
+
+/// Set of embedding rows touched since the last clear() — the
+/// bookkeeping half of copy-on-write delta publishing. The trainers
+/// mark every node a trained batch could have updated (walk nodes plus
+/// pre-sampled negatives); at snapshot cadence the sorted dirty list is
+/// handed to SnapshotSink::on_delta so a store can republish O(touched)
+/// rows instead of O(n). Same stamp-array technique as SparseRowDelta:
+/// mark() is O(1), clear() is O(dirty), memory is one byte per row.
+class DirtyRowSet {
+ public:
+  explicit DirtyRowSet(std::size_t num_rows)
+      : stamp_(num_rows, 0), dirty_() {}
+
+  void mark(NodeId node) {
+    if (stamp_[node] == 0) {
+      stamp_[node] = 1;
+      dirty_.push_back(node);
+    }
+  }
+  void mark_all(std::span<const NodeId> nodes) {
+    for (NodeId v : nodes) mark(v);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return dirty_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return dirty_.size(); }
+  [[nodiscard]] std::size_t num_rows() const noexcept {
+    return stamp_.size();
+  }
+
+  /// Dirty rows in ascending order (sorts in place; stays sorted until
+  /// the next mark of an unseen row).
+  [[nodiscard]] std::span<const NodeId> sorted() {
+    std::sort(dirty_.begin(), dirty_.end());
+    return dirty_;
+  }
+
+  void clear() noexcept {
+    for (NodeId node : dirty_) stamp_[node] = 0;
+    dirty_.clear();
+  }
+
+ private:
+  std::vector<std::uint8_t> stamp_;
+  std::vector<NodeId> dirty_;
+};
 
 class SparseRowDelta {
  public:

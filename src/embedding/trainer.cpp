@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "embedding/sparse_delta.hpp"
 #include "util/bounded_queue.hpp"
 #include "walk/corpus.hpp"
 #include "walk/node2vec_walker.hpp"
@@ -15,6 +16,61 @@
 namespace seqge {
 
 namespace {
+
+/// Routes cadence publications to the configured SnapshotSink, tracking
+/// the rows training may have touched since the last publication so the
+/// sink can be handed a delta (on_delta) instead of being forced to
+/// copy the full embedding. The touched set is a sound superset for
+/// every built-in backend: a trained walk only writes embedding rows of
+/// its own nodes and its negative samples, so when the negatives are
+/// pre-packed (kPerWalk pipeline packing) the union of walk nodes and
+/// packed negatives bounds every write. When a walk's negatives are
+/// drawn inside the model (kPerContext, or kPerWalk without packing)
+/// the set is unknowable here and the dispatcher falls back to a full
+/// on_snapshot for that publication.
+class SnapshotDispatcher {
+ public:
+  SnapshotDispatcher(SnapshotSink* sink, std::size_t num_rows,
+                     std::size_t ns)
+      : sink_(sink), ns_(ns), dirty_(sink != nullptr ? num_rows : 0) {}
+
+  [[nodiscard]] bool active() const noexcept { return sink_ != nullptr; }
+
+  /// Record walk i of `batch` (call after truncation, for walks that
+  /// actually trained).
+  void note_walk(const WalkBatch& batch, std::size_t i) {
+    if (sink_ == nullptr) return;
+    const auto walk = batch.walk(i);
+    if (walk.empty()) return;
+    dirty_.mark_all(walk);
+    if (batch.has_negatives(i)) {
+      dirty_.mark_all(batch.negatives(i));
+    } else if (ns_ > 0) {
+      // The model draws its own negatives; their rows are unknown here.
+      full_required_ = true;
+    }
+  }
+
+  /// Publish to the sink (cadence or final). Delta when the touched set
+  /// is bounded, full snapshot otherwise; resets the tracking either
+  /// way.
+  void publish(const EmbeddingModel& model, const TrainStats& stats) {
+    if (sink_ == nullptr) return;
+    if (full_required_) {
+      sink_->on_snapshot(model, stats);
+    } else {
+      sink_->on_delta(model, stats, dirty_.sorted());
+    }
+    dirty_.clear();
+    full_required_ = false;
+  }
+
+ private:
+  SnapshotSink* sink_;
+  std::size_t ns_;
+  DirtyRowSet dirty_;
+  bool full_required_ = false;
+};
 
 /// Append one walk to a batch: pre-sample the shared negative set from
 /// the walk's own seed stream when the mode calls for it (the PS side's
@@ -76,7 +132,7 @@ struct BatchSource {
 /// producers joined before returning.
 void run_batched(EmbeddingModel& model, const BatchSource& src,
                  std::size_t total_batches, const PipelineConfig& pipe,
-                 TrainStats& stats) {
+                 TrainStats& stats, SnapshotDispatcher& snapshots) {
   const std::size_t budget = pipe.max_walks;
 
   // Train one batch; returns false once the walk budget is exhausted.
@@ -88,6 +144,9 @@ void run_batched(EmbeddingModel& model, const BatchSource& src,
     if (!batch.empty()) {
       stats.last_loss =
           model.train_batch(batch, src.window, src.sampler, src.ns, src.mode);
+      for (std::size_t i = 0; i < batch.num_walks(); ++i) {
+        snapshots.note_walk(batch, i);
+      }
       stats.num_walks += batch.num_walks();
       stats.num_contexts += batch.total_contexts(src.window);
       ++stats.num_batches;
@@ -95,7 +154,7 @@ void run_batched(EmbeddingModel& model, const BatchSource& src,
       // so the sink sees a fully committed model state.
       if (pipe.snapshot_sink != nullptr && pipe.snapshot_every != 0 &&
           stats.num_batches % pipe.snapshot_every == 0) {
-        pipe.snapshot_sink->on_snapshot(model, stats);
+        snapshots.publish(model, stats);
         ++stats.snapshots_published;
       }
     }
@@ -230,10 +289,13 @@ TrainStats train_all(EmbeddingModel& model, const Graph& graph,
                         base_seed,
                         pipe.batch_walks,
                         batches_per_epoch};
-  run_batched(model, src, cfg.epochs * batches_per_epoch, pipe, stats);
+  SnapshotDispatcher snapshots(pipe.snapshot_sink, model.num_nodes(),
+                               cfg.negative_samples);
+  run_batched(model, src, cfg.epochs * batches_per_epoch, pipe, stats,
+              snapshots);
   stats.train_seconds = timer.seconds();
-  if (pipe.snapshot_sink != nullptr) {
-    pipe.snapshot_sink->on_snapshot(model, stats);
+  if (snapshots.active()) {
+    snapshots.publish(model, stats);
     ++stats.snapshots_published;
   }
   return stats;
@@ -256,6 +318,13 @@ SequentialResult train_sequential(EmbeddingModel& model,
   for (const Edge& e : split.forest_edges) dyn.add_edge(e.src, e.dst, e.weight);
 
   const std::uint64_t base_seed = rng.next();
+
+  // One dispatcher across both phases: the dirty-row set carries over
+  // the phase boundary, so the first phase-2 publication still covers
+  // everything phase 1 touched since the last cadence publish.
+  SnapshotDispatcher snapshots(cfg.pipeline.snapshot_sink,
+                               model.num_nodes(),
+                               cfg.train.negative_samples);
 
   // Phase 1: initial training on the forest, through the same pipelined
   // engine as train_all.
@@ -283,7 +352,8 @@ SequentialResult train_sequential(EmbeddingModel& model,
                         base_seed,
                         cfg.pipeline.batch_walks,
                         batches_per_epoch};
-  run_batched(model, src, batches_per_epoch, cfg.pipeline, stats);
+  run_batched(model, src, batches_per_epoch, cfg.pipeline, stats,
+              snapshots);
   stats.train_seconds += timer.seconds();
   corpus.walks.clear();
   corpus.walks.shrink_to_fit();
@@ -324,6 +394,9 @@ SequentialResult train_sequential(EmbeddingModel& model,
                           cfg.train.negative_mode);
     stats.train_seconds += timer.seconds();
     ++stats.num_batches;
+    for (std::size_t w = 0; w < batch.num_walks(); ++w) {
+      snapshots.note_walk(batch, w);
+    }
 
     if (++since_rebuild >= cfg.sampler_rebuild_interval) {
       sampler = NegativeSampler(frequency);
@@ -331,15 +404,14 @@ SequentialResult train_sequential(EmbeddingModel& model,
       since_rebuild = 0;
     }
 
-    if (cfg.pipeline.snapshot_sink != nullptr &&
-        cfg.snapshot_every_insertions != 0 &&
+    if (snapshots.active() && cfg.snapshot_every_insertions != 0 &&
         result.insertions % cfg.snapshot_every_insertions == 0) {
-      cfg.pipeline.snapshot_sink->on_snapshot(model, stats);
+      snapshots.publish(model, stats);
       ++stats.snapshots_published;
     }
   }
-  if (cfg.pipeline.snapshot_sink != nullptr) {
-    cfg.pipeline.snapshot_sink->on_snapshot(model, stats);
+  if (snapshots.active()) {
+    snapshots.publish(model, stats);
     ++stats.snapshots_published;
   }
   return result;

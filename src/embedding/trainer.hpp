@@ -51,17 +51,44 @@ struct TrainStats {
 };
 
 /// Receives embedding snapshots from a running training loop. The
-/// trainers invoke on_snapshot on the *consumer* thread at the cadence
-/// configured in PipelineConfig / SequentialConfig, always at a batch
-/// boundary (never mid-update), so implementations may read the model
-/// freely — typically model.extract_embedding() — and hand the copy to
-/// concurrent readers. serve::EmbeddingStore is the canonical
-/// implementation; anything else (metrics exporters, eval probes) can
-/// plug in the same way.
+/// trainers invoke on_snapshot / on_delta on the *consumer* thread at
+/// the cadence configured in PipelineConfig / SequentialConfig, always
+/// at a batch boundary (never mid-update), so implementations may read
+/// the model freely — typically model.extract_embedding() or
+/// model.extract_rows() — and hand the copy to concurrent readers.
+/// serve::EmbeddingStore (full snapshots) and
+/// serve::ShardedEmbeddingStore (copy-on-write deltas) are the
+/// canonical implementations; anything else (metrics exporters, eval
+/// probes) can plug in the same way.
+///
+/// Threading and re-entrancy contract:
+///  * Calls are serialized: a trainer never invokes the sink from two
+///    threads at once, and never re-enters it — each call returns
+///    before training resumes, so a sink needs no internal locking
+///    against the trainer (only against its own readers).
+///  * The `model` reference is valid only for the duration of the call;
+///    copy what you need (extract_embedding / extract_rows), do not
+///    retain it.
+///  * A sink must not call back into the training API from inside a
+///    callback (the model is mid-run on the calling thread).
 struct SnapshotSink {
   virtual ~SnapshotSink() = default;
   virtual void on_snapshot(const EmbeddingModel& model,
                            const TrainStats& stats) = 0;
+
+  /// Delta variant: `touched_rows` (ascending, unique) is a superset of
+  /// every embedding row the model may have changed since the previous
+  /// sink invocation of this training run — rows outside it are
+  /// bit-identical to what the sink last saw. The trainers emit deltas
+  /// only when they can bound the touched set (NegativeMode::kPerWalk
+  /// with pre-packed negatives, i.e. the standard pipelined path);
+  /// otherwise they fall back to on_snapshot. The default forwards to
+  /// on_snapshot, so full-snapshot sinks keep working unchanged.
+  virtual void on_delta(const EmbeddingModel& model, const TrainStats& stats,
+                        std::span<const NodeId> touched_rows) {
+    (void)touched_rows;
+    on_snapshot(model, stats);
+  }
 };
 
 /// How the training pipeline is staffed and shaped. The default is the
@@ -86,8 +113,11 @@ struct PipelineConfig {
   /// snapshot_sink is null.
   std::size_t snapshot_every = 0;
   /// Non-owning; must outlive the training call. When set, the trainers
-  /// call on_snapshot at the configured cadence plus once after the
-  /// last update, so the sink always ends holding the final state.
+  /// publish at the configured cadence plus once after the last update,
+  /// so the sink always ends holding the final state. Publications go
+  /// through on_delta with the touched-row set whenever the trainer can
+  /// bound it (kPerWalk pre-packed negatives — the standard pipelined
+  /// path), and through on_snapshot otherwise.
   SnapshotSink* snapshot_sink = nullptr;
 
   void validate() const {

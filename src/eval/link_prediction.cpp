@@ -11,8 +11,11 @@ namespace seqge {
 
 double score_edge(const MatrixF& embedding, NodeId u, NodeId v,
                   EdgeScore kind) {
-  auto eu = embedding.row(u);
-  auto ev = embedding.row(v);
+  return score_edge(embedding.row(u), embedding.row(v), kind);
+}
+
+double score_edge(std::span<const float> eu, std::span<const float> ev,
+                  EdgeScore kind) {
   switch (kind) {
     case EdgeScore::kDot:
       return dot<float>(eu, ev);

@@ -21,7 +21,13 @@ enum class EdgeScore {
   kHadamardL2 ///< -|u (.) v - mean|… simple Hadamard-norm heuristic
 };
 
-/// Score one candidate edge from its endpoint embeddings.
+/// Score one candidate edge from its endpoint embedding rows. The
+/// span overload is the primitive (serving engines that do not hold a
+/// contiguous matrix — e.g. the sharded store's per-shard row tables —
+/// score through it); the matrix overload delegates to it, so the two
+/// are bit-identical.
+[[nodiscard]] double score_edge(std::span<const float> eu,
+                                std::span<const float> ev, EdgeScore kind);
 [[nodiscard]] double score_edge(const MatrixF& embedding, NodeId u,
                                 NodeId v, EdgeScore kind);
 

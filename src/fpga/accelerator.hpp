@@ -42,6 +42,11 @@ class Accelerator final : public EmbeddingModel {
                      const NegativeSampler& sampler, std::size_t ns,
                      NegativeMode mode) override;
   [[nodiscard]] MatrixF extract_embedding() const override;
+  /// O(touched) embedding-row extraction (delta publishing): each row
+  /// dequantizes exactly the same Q8.24 words extract_embedding would,
+  /// so the two are bit-identical row for row.
+  void extract_rows(std::span<const NodeId> nodes,
+                    MatrixF& out) const override;
   [[nodiscard]] std::size_t dims() const override { return cfg_.dims; }
   [[nodiscard]] std::size_t num_nodes() const override {
     return num_nodes_;

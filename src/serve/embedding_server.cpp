@@ -3,16 +3,27 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "serve/sharded_query.hpp"
 #include "util/stats.hpp"
 
 namespace seqge::serve {
 
 EmbeddingServer::EmbeddingServer(std::shared_ptr<const EmbeddingStore> store,
                                  ServerConfig cfg)
+    : EmbeddingServer(std::move(store), nullptr, cfg) {}
+
+EmbeddingServer::EmbeddingServer(
+    std::shared_ptr<const ShardedEmbeddingStore> store, ServerConfig cfg)
+    : EmbeddingServer(nullptr, std::move(store), cfg) {}
+
+EmbeddingServer::EmbeddingServer(
+    std::shared_ptr<const EmbeddingStore> store,
+    std::shared_ptr<const ShardedEmbeddingStore> sharded, ServerConfig cfg)
     : store_(std::move(store)),
+      sharded_store_(std::move(sharded)),
       cfg_(cfg),
       queue_(cfg.queue_capacity == 0 ? 1 : cfg.queue_capacity) {
-  if (store_ == nullptr) {
+  if (store_ == nullptr && sharded_store_ == nullptr) {
     throw std::invalid_argument("EmbeddingServer: null store");
   }
   if (cfg_.threads == 0) cfg_.threads = 1;
@@ -61,11 +72,15 @@ std::future<ScoreResult> EmbeddingServer::score(NodeId u, NodeId v,
   return fut;
 }
 
-std::shared_ptr<const QueryEngine> EmbeddingServer::engine() {
-  const std::uint64_t live = store_->version();
+std::uint64_t EmbeddingServer::store_version() const {
+  return store_ != nullptr ? store_->version() : sharded_store_->version();
+}
+
+std::shared_ptr<const SearchEngine> EmbeddingServer::engine() {
+  const std::uint64_t live = store_version();
   if (live == 0) return nullptr;
   auto cached = engine_.load(std::memory_order_acquire);
-  if (cached != nullptr && cached->version() == live) return cached;
+  if (cached != nullptr && cached->version() >= live) return cached;
 
   // A rebuild (IVF: k-means over every node) can take a while; while
   // one worker builds, the rest keep answering from the still-valid
@@ -76,11 +91,26 @@ std::shared_ptr<const QueryEngine> EmbeddingServer::engine() {
     lock.lock();  // no engine yet — nothing to serve, must wait
   }
   cached = engine_.load(std::memory_order_acquire);
-  const auto snap = store_->current();  // may be newer than `live`
-  if (cached != nullptr && cached->version() == snap->version) {
-    return cached;
+  std::shared_ptr<const SearchEngine> built;
+  if (store_ != nullptr) {
+    const auto snap = store_->current();  // may be newer than `live`
+    if (cached != nullptr && cached->version() >= snap->version) {
+      return cached;
+    }
+    built = std::make_shared<const QueryEngine>(snap, cfg_.index);
+  } else {
+    if (cached != nullptr && cached->version() >= sharded_store_->version()) {
+      return cached;
+    }
+    // Incremental: reuse/refresh the previous engine's per-shard state
+    // instead of re-clustering every shard on each publish.
+    const auto* prev =
+        dynamic_cast<const ShardedQueryEngine*>(cached.get());
+    built = std::make_shared<const ShardedQueryEngine>(
+        *sharded_store_, ShardedIndexConfig{cfg_.index,
+                                            cfg_.ivf_reassign_threshold},
+        prev);
   }
-  auto built = std::make_shared<const QueryEngine>(snap, cfg_.index);
   engine_.store(built, std::memory_order_release);
   rebuilds_.fetch_add(1, std::memory_order_relaxed);
   return built;

@@ -1,14 +1,30 @@
 #pragma once
-// Multi-threaded embedding server: the request loop that turns the
+// Multi-threaded embedding server: the request loop that turns a
 // snapshot store + query engine into something a front-end can call
 // while training runs. Requests (top-k / edge-score) enter a
 // BoundedQueue (util/bounded_queue.hpp — the same primitive that backs
 // the training pipeline); a pool of worker threads answers them against
-// the *latest* store snapshot, rebuilding the per-snapshot QueryEngine
+// the *latest* store version, rebuilding the per-version SearchEngine
 // exactly once per published version. Each response carries the
-// snapshot version it was answered from, so clients can observe
-// freshness, and each request's queue+service latency is recorded for
-// the percentile summary.
+// version it was answered from, so clients can observe freshness, and
+// each request's queue+service latency is recorded for the percentile
+// summary.
+//
+// Two store backends route through the same worker pool:
+//  * EmbeddingStore — one contiguous snapshot per version; each new
+//    version builds a fresh QueryEngine (full IVF re-cluster).
+//  * ShardedEmbeddingStore — per-shard copy-on-write snapshots; each
+//    new version builds a ShardedQueryEngine *incrementally from the
+//    previous engine*: untouched shards are shared, changed shards
+//    re-assign only rows that moved (serve/sharded_query.hpp), so
+//    high-cadence delta publishing does not trigger full re-clustering.
+//
+// Threading guarantees: submission (topk/score) is safe from any
+// number of client threads; responses are fulfilled exactly once; the
+// versions observed by any single client thread's responses are
+// monotonically non-decreasing (the store's versions are strictly
+// monotonic and workers never install an older engine over a newer
+// one).
 //
 // Shutdown is a graceful drain: close() stops admission, workers finish
 // everything already queued (every accepted future is fulfilled), then
@@ -22,17 +38,25 @@
 #include <vector>
 
 #include "serve/query_engine.hpp"
+#include "serve/sharded_store.hpp"
 #include "util/bounded_queue.hpp"
 
 namespace seqge::serve {
+
+class ShardedQueryEngine;
 
 struct ServerConfig {
   std::size_t threads = 2;          ///< worker pool size (>= 1)
   std::size_t queue_capacity = 1024;
   /// Engine built for each new snapshot version. Brute force by default;
-  /// switch to kIvf for sub-linear search on large stores.
+  /// switch to kIvf for sub-linear search on large stores. With a
+  /// sharded store this is the per-shard index configuration.
   IndexConfig index{};
   Similarity similarity = Similarity::kCosine;
+  /// Sharded stores only: centroid-affinity decay past which an
+  /// incrementally refreshed row re-runs its nearest-IVF-cell scan
+  /// (ShardedIndexConfig::reassign_threshold).
+  float ivf_reassign_threshold = 0.05f;
   /// Latency samples retained for the percentile summary (most recent
   /// wins; 0 = keep the default window).
   std::size_t latency_window = 1 << 16;
@@ -68,6 +92,11 @@ class EmbeddingServer {
   /// the first publish fail with std::runtime_error.
   EmbeddingServer(std::shared_ptr<const EmbeddingStore> store,
                   ServerConfig cfg = {});
+  /// Sharded-store variant: workers answer through a ShardedQueryEngine
+  /// (fan-out/merge; incremental per-shard index refresh on each new
+  /// version).
+  EmbeddingServer(std::shared_ptr<const ShardedEmbeddingStore> store,
+                  ServerConfig cfg = {});
   ~EmbeddingServer();
 
   EmbeddingServer(const EmbeddingServer&) = delete;
@@ -95,6 +124,11 @@ class EmbeddingServer {
   [[nodiscard]] LatencySummary latency() const;
 
  private:
+  /// Shared init: exactly one of the stores is non-null.
+  EmbeddingServer(std::shared_ptr<const EmbeddingStore> store,
+                  std::shared_ptr<const ShardedEmbeddingStore> sharded,
+                  ServerConfig cfg);
+
   enum class RequestType { kTopK, kScore };
   struct Request {
     RequestType type = RequestType::kTopK;
@@ -110,17 +144,20 @@ class EmbeddingServer {
   void worker_loop();
   /// Current engine, rebuilt (by exactly one worker) when the store has
   /// published a newer version than the cached engine was built for.
-  std::shared_ptr<const QueryEngine> engine();
+  std::shared_ptr<const SearchEngine> engine();
+  [[nodiscard]] std::uint64_t store_version() const;
   void record(const Request& req);
 
+  // Exactly one of the two stores is set.
   std::shared_ptr<const EmbeddingStore> store_;
+  std::shared_ptr<const ShardedEmbeddingStore> sharded_store_;
   ServerConfig cfg_;
   BoundedQueue<Request> queue_;
 
   // Engine cache: read with one atomic load on the hot path; rebuilds
   // serialize on rebuild_mutex_ with a double-check so concurrent
   // workers noticing the same new version build it once.
-  std::atomic<std::shared_ptr<const QueryEngine>> engine_{nullptr};
+  std::atomic<std::shared_ptr<const SearchEngine>> engine_{nullptr};
   std::mutex rebuild_mutex_;
   std::atomic<std::uint64_t> rebuilds_{0};
 

@@ -12,10 +12,21 @@
 //
 // EmbeddingStore implements SnapshotSink, so the training pipelines
 // (trainer.hpp, PipelineConfig::snapshot_sink) publish into it directly
-// at a configurable cadence. Snapshots also round-trip through the
-// binary checkpoint format (embedding/checkpoint.hpp), so a store can
-// be warmed from a file written by any backend — including the FPGA
-// accelerator, whose Q8.24 weights dequantize on save.
+// at a configurable cadence. It keeps SnapshotSink's default on_delta
+// (forwarding to on_snapshot), so every publication copies the full
+// matrix — the right trade at small n. This store is the N = 1 special
+// case of serve/sharded_store.hpp, which publishes copy-on-write row
+// deltas and swaps per-shard heads for O(touched)-cost publication at
+// scale. Snapshots also round-trip through the binary checkpoint
+// format (embedding/checkpoint.hpp), so a store can be warmed from a
+// file written by any backend — including the FPGA accelerator, whose
+// Q8.24 weights dequantize on save.
+//
+// Threading guarantees: publish()/on_snapshot may be called from any
+// one thread at a time (publishers serialize on an internal mutex;
+// the trainers already serialize sink calls); current()/version() are
+// lock-free and safe from any number of threads; versions are strictly
+// monotonic, assigned under the publish lock.
 
 #include <atomic>
 #include <chrono>

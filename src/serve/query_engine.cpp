@@ -10,52 +10,123 @@
 
 namespace seqge::serve {
 
-namespace {
+std::vector<Neighbor> TopKAccumulator::take() {
+  std::sort(heap_.begin(), heap_.end(), [](const Neighbor& a,
+                                           const Neighbor& b) {
+    return a.score != b.score ? a.score > b.score : a.node < b.node;
+  });
+  return std::move(heap_);
+}
 
-/// Fixed-capacity top-k accumulator: a min-heap on score keeps the k
-/// best seen so far, so a full scan is O(n log k).
-class TopK {
- public:
-  explicit TopK(std::size_t k) : k_(k) { heap_.reserve(k + 1); }
+void l2_normalize(std::span<float> v) {
+  const auto n = static_cast<float>(l2_norm<float>(v));
+  if (n > 0.0f) scale(1.0f / n, v);
+}
 
-  void offer(NodeId node, float score) {
-    if (k_ == 0) return;
-    if (heap_.size() < k_) {
-      heap_.push_back({node, score});
-      std::push_heap(heap_.begin(), heap_.end(), worse);
-    } else if (score > heap_.front().score) {
-      std::pop_heap(heap_.begin(), heap_.end(), worse);
-      heap_.back() = {node, score};
-      std::push_heap(heap_.begin(), heap_.end(), worse);
+void l2_normalize_rows(MatrixF& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) l2_normalize(m.row(r));
+}
+
+// --- IvfIndex ---------------------------------------------------------------
+
+void IvfIndex::build(const MatrixF& normalized, const IndexConfig& cfg) {
+  const std::size_t n = normalized.rows();
+  const std::size_t dims = normalized.cols();
+  std::size_t nl = cfg.nlist != 0
+                       ? cfg.nlist
+                       : static_cast<std::size_t>(
+                             std::sqrt(static_cast<double>(n)));
+  nl = std::clamp<std::size_t>(nl, 1, n);
+
+  Rng rng(cfg.seed);
+
+  // Train the quantizer on a sample (assignment below always uses every
+  // row); spherical k-means — centroids re-normalized each iteration so
+  // "nearest centroid" is a plain dot product.
+  std::size_t sample = cfg.kmeans_sample != 0 ? cfg.kmeans_sample : 64 * nl;
+  sample = std::min(sample, n);
+  std::vector<std::uint32_t> train_rows(n);
+  std::iota(train_rows.begin(), train_rows.end(), 0u);
+  for (std::size_t i = 0; i < sample; ++i) {
+    std::swap(train_rows[i], train_rows[i + rng.bounded(n - i)]);
+  }
+  train_rows.resize(sample);
+
+  centroids = MatrixF(nl, dims);
+  for (std::size_t c = 0; c < nl; ++c) {
+    copy<float>(normalized.row(train_rows[c % sample]), centroids.row(c));
+  }
+
+  std::vector<std::uint32_t> assign(sample, 0);
+  for (std::size_t iter = 0; iter < cfg.kmeans_iters; ++iter) {
+    for (std::size_t i = 0; i < sample; ++i) {
+      assign[i] =
+          static_cast<std::uint32_t>(nearest(normalized.row(train_rows[i])));
+    }
+    centroids.fill(0.0f);
+    std::vector<std::uint32_t> counts(nl, 0);
+    for (std::size_t i = 0; i < sample; ++i) {
+      axpy<float>(1.0f, normalized.row(train_rows[i]),
+                  centroids.row(assign[i]));
+      ++counts[assign[i]];
+    }
+    for (std::size_t c = 0; c < nl; ++c) {
+      if (counts[c] == 0) {
+        // Empty cell: reseed from a random training row.
+        copy<float>(normalized.row(train_rows[rng.bounded(sample)]),
+                    centroids.row(c));
+      }
+    }
+    l2_normalize_rows(centroids);
+  }
+
+  // Full assignment pass over every row -> CSR member lists, recording
+  // each row's assignment-time affinity as the drift baseline.
+  cell.resize(n);
+  cell_dot.resize(n);
+#pragma omp parallel for if (n > 4096) schedule(static)
+  for (std::size_t r = 0; r < n; ++r) {
+    float best_dot = -2.0f;
+    cell[r] = static_cast<std::uint32_t>(nearest(normalized.row(r),
+                                                 best_dot));
+    cell_dot[r] = best_dot;
+  }
+  rebuild_lists();
+}
+
+std::size_t IvfIndex::nearest(std::span<const float> row) const {
+  float best_dot = -2.0f;
+  return nearest(row, best_dot);
+}
+
+std::size_t IvfIndex::nearest(std::span<const float> row,
+                              float& best_dot) const {
+  std::size_t best = 0;
+  best_dot = -2.0f;
+  for (std::size_t c = 0; c < centroids.rows(); ++c) {
+    const float d = dot<float>(centroids.row(c), row);
+    if (d > best_dot) {
+      best_dot = d;
+      best = c;
     }
   }
+  return best;
+}
 
-  /// Best first; ties broken by node id for deterministic output.
-  [[nodiscard]] std::vector<Neighbor> take() {
-    std::sort(heap_.begin(), heap_.end(), [](const Neighbor& a,
-                                             const Neighbor& b) {
-      return a.score != b.score ? a.score > b.score : a.node < b.node;
-    });
-    return std::move(heap_);
-  }
-
- private:
-  static bool worse(const Neighbor& a, const Neighbor& b) {
-    return a.score != b.score ? a.score > b.score : a.node < b.node;
-  }
-  std::size_t k_;
-  std::vector<Neighbor> heap_;
-};
-
-void normalize_rows(MatrixF& m) {
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    auto row = m.row(r);
-    const auto n = static_cast<float>(l2_norm<float>(row));
-    if (n > 0.0f) scale(1.0f / n, row);
+void IvfIndex::rebuild_lists() {
+  const std::size_t n = cell.size();
+  const std::size_t nl = nlist();
+  list_off.assign(nl + 1, 0);
+  for (std::size_t r = 0; r < n; ++r) ++list_off[cell[r] + 1];
+  for (std::size_t c = 0; c < nl; ++c) list_off[c + 1] += list_off[c];
+  list_nodes.resize(n);
+  std::vector<std::uint32_t> cursor(list_off.begin(), list_off.end() - 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    list_nodes[cursor[cell[r]]++] = static_cast<std::uint32_t>(r);
   }
 }
 
-}  // namespace
+// --- QueryEngine ------------------------------------------------------------
 
 QueryEngine::QueryEngine(std::shared_ptr<const Snapshot> snapshot,
                          IndexConfig cfg)
@@ -67,100 +138,18 @@ QueryEngine::QueryEngine(std::shared_ptr<const Snapshot> snapshot,
     throw std::invalid_argument("QueryEngine: empty snapshot embedding");
   }
   normalized_ = snap_->embedding;
-  normalize_rows(normalized_);
+  l2_normalize_rows(normalized_);
   if (cfg_.kind == IndexConfig::Kind::kIvf) build_ivf();
 }
 
 void QueryEngine::build_ivf() {
-  const std::size_t n = normalized_.rows();
-  const std::size_t dims = normalized_.cols();
-  std::size_t nlist = cfg_.nlist != 0
-                          ? cfg_.nlist
-                          : static_cast<std::size_t>(
-                                std::sqrt(static_cast<double>(n)));
-  nlist = std::clamp<std::size_t>(nlist, 1, n);
-
-  Rng rng(cfg_.seed);
-
-  // Train the quantizer on a sample (assignment below always uses every
-  // row); spherical k-means — centroids re-normalized each iteration so
-  // "nearest centroid" is a plain dot product.
-  std::size_t sample = cfg_.kmeans_sample != 0 ? cfg_.kmeans_sample
-                                               : 64 * nlist;
-  sample = std::min(sample, n);
-  std::vector<std::uint32_t> train_rows(n);
-  std::iota(train_rows.begin(), train_rows.end(), 0u);
-  for (std::size_t i = 0; i < sample; ++i) {
-    std::swap(train_rows[i], train_rows[i + rng.bounded(n - i)]);
-  }
-  train_rows.resize(sample);
-
-  centroids_ = MatrixF(nlist, dims);
-  for (std::size_t c = 0; c < nlist; ++c) {
-    copy<float>(normalized_.row(train_rows[c % sample]), centroids_.row(c));
-  }
-
-  std::vector<std::uint32_t> assign(sample, 0);
-  for (std::size_t iter = 0; iter < cfg_.kmeans_iters; ++iter) {
-    for (std::size_t i = 0; i < sample; ++i) {
-      const auto row = normalized_.row(train_rows[i]);
-      std::size_t best = 0;
-      float best_dot = -2.0f;
-      for (std::size_t c = 0; c < nlist; ++c) {
-        const float d = dot<float>(centroids_.row(c), row);
-        if (d > best_dot) {
-          best_dot = d;
-          best = c;
-        }
-      }
-      assign[i] = static_cast<std::uint32_t>(best);
-    }
-    centroids_.fill(0.0f);
-    std::vector<std::uint32_t> counts(nlist, 0);
-    for (std::size_t i = 0; i < sample; ++i) {
-      axpy<float>(1.0f, normalized_.row(train_rows[i]),
-           centroids_.row(assign[i]));
-      ++counts[assign[i]];
-    }
-    for (std::size_t c = 0; c < nlist; ++c) {
-      if (counts[c] == 0) {
-        // Empty cell: reseed from a random training row.
-        copy<float>(normalized_.row(train_rows[rng.bounded(sample)]),
-             centroids_.row(c));
-      }
-    }
-    normalize_rows(centroids_);
-  }
-
-  // Full assignment pass over every row -> CSR member lists.
-  std::vector<std::uint32_t> cell(n);
-#pragma omp parallel for if (n > 4096) schedule(static)
-  for (std::size_t r = 0; r < n; ++r) {
-    const auto row = normalized_.row(r);
-    std::size_t best = 0;
-    float best_dot = -2.0f;
-    for (std::size_t c = 0; c < nlist; ++c) {
-      const float d = dot<float>(centroids_.row(c), row);
-      if (d > best_dot) {
-        best_dot = d;
-        best = c;
-      }
-    }
-    cell[r] = static_cast<std::uint32_t>(best);
-  }
-  list_off_.assign(nlist + 1, 0);
-  for (std::size_t r = 0; r < n; ++r) ++list_off_[cell[r] + 1];
-  for (std::size_t c = 0; c < nlist; ++c) list_off_[c + 1] += list_off_[c];
-  list_nodes_.resize(n);
-  std::vector<std::uint32_t> cursor(list_off_.begin(), list_off_.end() - 1);
-  for (std::size_t r = 0; r < n; ++r) {
-    list_nodes_[cursor[cell[r]]++] = static_cast<std::uint32_t>(r);
-  }
+  ivf_.build(normalized_, cfg_);
   // Re-pack rows in list order: a probed cell is then one sequential
   // stripe instead of a gather over the whole matrix.
-  packed_rows_ = MatrixF(n, dims);
+  const std::size_t n = normalized_.rows();
+  packed_rows_ = MatrixF(n, normalized_.cols());
   for (std::size_t i = 0; i < n; ++i) {
-    copy<float>(normalized_.row(list_nodes_[i]), packed_rows_.row(i));
+    copy<float>(normalized_.row(ivf_.list_nodes[i]), packed_rows_.row(i));
   }
 }
 
@@ -169,7 +158,7 @@ std::vector<Neighbor> QueryEngine::scan_topk(
     NodeId exclude, std::span<const std::uint32_t> candidates) const {
   const MatrixF& rows =
       sim == Similarity::kCosine ? normalized_ : snap_->embedding;
-  TopK top(k);
+  TopKAccumulator top(k);
   if (candidates.empty()) {
     for (std::size_t r = 0; r < rows.rows(); ++r) {
       if (r == exclude) continue;
@@ -195,15 +184,14 @@ std::vector<Neighbor> QueryEngine::topk(std::span<const float> query,
   std::span<const float> q = query;
   if (sim == Similarity::kCosine) {
     unit.assign(query.begin(), query.end());
-    const auto n = static_cast<float>(l2_norm<float>(query));
-    if (n > 0.0f) scale(1.0f / n, std::span<float>(unit));
+    l2_normalize(unit);
     q = unit;
   }
 
   // IVF search is cosine-ordered; dot falls back to the exact scan.
-  if (cfg_.kind == IndexConfig::Kind::kIvf &&
-      sim == Similarity::kCosine && !centroids_.empty()) {
-    const std::size_t nlist = centroids_.rows();
+  if (cfg_.kind == IndexConfig::Kind::kIvf && sim == Similarity::kCosine &&
+      !ivf_.empty()) {
+    const std::size_t nlist = ivf_.nlist();
     const std::size_t nprobe = std::min(
         nlist, nprobe_override != 0 ? nprobe_override : cfg_.nprobe);
     if (nprobe < nlist) {
@@ -211,18 +199,18 @@ std::vector<Neighbor> QueryEngine::topk(std::span<const float> query,
       // each a contiguous stripe of packed_rows_.
       std::vector<Neighbor> cells;
       {
-        TopK cell_top(nprobe);
+        TopKAccumulator cell_top(nprobe);
         for (std::size_t c = 0; c < nlist; ++c) {
           cell_top.offer(static_cast<NodeId>(c),
-                         dot<float>(centroids_.row(c), q));
+                         dot<float>(ivf_.centroids.row(c), q));
         }
         cells = cell_top.take();
       }
-      TopK top(k);
+      TopKAccumulator top(k);
       for (const Neighbor& cell : cells) {
-        for (std::uint32_t i = list_off_[cell.node];
-             i < list_off_[cell.node + 1]; ++i) {
-          const std::uint32_t r = list_nodes_[i];
+        for (std::uint32_t i = ivf_.list_off[cell.node];
+             i < ivf_.list_off[cell.node + 1]; ++i) {
+          const std::uint32_t r = ivf_.list_nodes[i];
           if (r == exclude) continue;
           top.offer(r, dot<float>(packed_rows_.row(i), q));
         }

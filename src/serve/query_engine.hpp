@@ -1,9 +1,18 @@
 #pragma once
-// Read-side query engine over one immutable embedding snapshot. Holds a
-// shared_ptr<const Snapshot> (serve/embedding_store.hpp), so the
-// snapshot outlives any in-flight query even after the store moves on.
-// All query methods are const and safe to call from many threads at
-// once — per-call scratch lives on the caller's stack.
+// Read-side query engines over immutable embedding snapshots.
+//
+// SearchEngine is the minimal virtual surface the serving layer
+// (serve/embedding_server.hpp) needs — version / top-k / edge-score —
+// with two implementations:
+//  * QueryEngine (this header) over one contiguous Snapshot
+//    (serve/embedding_store.hpp);
+//  * ShardedQueryEngine (serve/sharded_query.hpp) fanning out across
+//    the per-shard snapshots of a ShardedEmbeddingStore.
+//
+// QueryEngine holds a shared_ptr<const Snapshot>, so the snapshot
+// outlives any in-flight query even after the store moves on. All query
+// methods are const and safe to call from many threads at once —
+// per-call scratch lives on the caller's stack.
 //
 // Two k-NN paths:
 //  * exact brute force — every row scored with the dense kernels of
@@ -20,6 +29,7 @@
 // score_edge) so a served score is bit-identical to the offline
 // evaluation's.
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -38,6 +48,71 @@ struct Neighbor {
 
 enum class Similarity { kCosine, kDot };
 
+/// What the server routes requests through: any engine answering
+/// against one immutable embedding version. Implementations are
+/// immutable after construction, so every method is safe to call from
+/// many threads at once with no locking.
+class SearchEngine {
+ public:
+  virtual ~SearchEngine() = default;
+
+  /// Store version this engine was built for (response freshness tag).
+  [[nodiscard]] virtual std::uint64_t version() const = 0;
+
+  /// Top-k most similar nodes to node u (u itself excluded), best
+  /// first; ties broken by ascending node id. k is clamped to the
+  /// number of candidates.
+  [[nodiscard]] virtual std::vector<Neighbor> topk(
+      NodeId u, std::size_t k, Similarity sim = Similarity::kCosine,
+      std::size_t nprobe_override = 0) const = 0;
+
+  /// Link-prediction score of candidate edge (u, v), bit-identical to
+  /// eval/link_prediction.hpp's score_edge on the same embedding.
+  [[nodiscard]] virtual double score(NodeId u, NodeId v,
+                                     EdgeScore kind = EdgeScore::kCosine)
+      const = 0;
+};
+
+/// Fixed-capacity top-k accumulator: a min-heap on score keeps the k
+/// best seen so far, so a full scan is O(n log k). offer() admission
+/// depends only on scores (ties at the cutoff keep the earlier
+/// arrival), so two engines offering the same (node, score) stream in
+/// the same order produce identical results — that is what makes the
+/// sharded fan-out bit-identical to the single-store exact scan.
+class TopKAccumulator {
+ public:
+  explicit TopKAccumulator(std::size_t k) : k_(k) { heap_.reserve(k + 1); }
+
+  void offer(NodeId node, float score) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back({node, score});
+      std::push_heap(heap_.begin(), heap_.end(), worse);
+    } else if (score > heap_.front().score) {
+      std::pop_heap(heap_.begin(), heap_.end(), worse);
+      heap_.back() = {node, score};
+      std::push_heap(heap_.begin(), heap_.end(), worse);
+    }
+  }
+
+  /// Best first; ties broken by node id for deterministic output.
+  [[nodiscard]] std::vector<Neighbor> take();
+
+ private:
+  static bool worse(const Neighbor& a, const Neighbor& b) {
+    return a.score != b.score ? a.score > b.score : a.node < b.node;
+  }
+  std::size_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+/// L2-normalize every row in place (zero rows stay zero) — the shared
+/// preprocessing of every cosine path; using exactly this function
+/// everywhere keeps scores bit-identical across engines.
+void l2_normalize_rows(MatrixF& m);
+/// L2-normalize one vector in place.
+void l2_normalize(std::span<float> v);
+
 struct IndexConfig {
   enum class Kind { kBruteForce, kIvf };
   Kind kind = Kind::kBruteForce;
@@ -55,7 +130,42 @@ struct IndexConfig {
   std::uint64_t seed = 1;
 };
 
-class QueryEngine {
+/// Coarse spherical-k-means quantizer + CSR member lists over a set of
+/// L2-normalized rows — the IVF state shared by QueryEngine (full
+/// rebuild per snapshot) and the sharded engine's incremental
+/// maintenance (serve/sharded_query.hpp), which keeps the centroids and
+/// re-assigns only rows that moved.
+struct IvfIndex {
+  MatrixF centroids;                      ///< nlist x dims, unit rows
+  std::vector<std::uint32_t> cell;        ///< row -> cell
+  /// dot(row, centroids[cell[row]]) at the time the row was (re-)
+  /// assigned — the drift baseline for incremental maintenance: a
+  /// refresh re-runs the nearest-centroid scan once a row's affinity
+  /// to its assigned centroid has decayed past a threshold *since
+  /// assignment*, so sub-threshold drift accumulates instead of being
+  /// forgotten at each refresh.
+  std::vector<float> cell_dot;
+  std::vector<std::uint32_t> list_off;    ///< nlist + 1 CSR offsets
+  std::vector<std::uint32_t> list_nodes;  ///< row ids in list order
+
+  [[nodiscard]] std::size_t nlist() const noexcept {
+    return centroids.rows();
+  }
+  [[nodiscard]] bool empty() const noexcept { return centroids.empty(); }
+
+  /// Full build: train the quantizer on a sample of `normalized`, then
+  /// assign every row and build the CSR lists.
+  void build(const MatrixF& normalized, const IndexConfig& cfg);
+  /// Index of the centroid nearest (max dot) to the unit row; the
+  /// two-argument overload also reports that best dot.
+  [[nodiscard]] std::size_t nearest(std::span<const float> row) const;
+  [[nodiscard]] std::size_t nearest(std::span<const float> row,
+                                    float& best_dot) const;
+  /// Rebuild list_off/list_nodes from cell (after re-assignments).
+  void rebuild_lists();
+};
+
+class QueryEngine : public SearchEngine {
  public:
   /// Builds the per-snapshot state (normalized rows; the IVF index when
   /// cfg.kind == kIvf). Throws on a null snapshot.
@@ -63,7 +173,7 @@ class QueryEngine {
                        IndexConfig cfg = {});
 
   [[nodiscard]] const Snapshot& snapshot() const noexcept { return *snap_; }
-  [[nodiscard]] std::uint64_t version() const noexcept {
+  [[nodiscard]] std::uint64_t version() const noexcept override {
     return snap_->version;
   }
   [[nodiscard]] const IndexConfig& config() const noexcept { return cfg_; }
@@ -71,14 +181,14 @@ class QueryEngine {
     return snap_->num_nodes();
   }
   [[nodiscard]] std::size_t nlist() const noexcept {
-    return centroids_.rows();
+    return ivf_.nlist();
   }
 
   /// Top-k most similar nodes to node u (u itself excluded), best
   /// first. k is clamped to the number of candidates.
   [[nodiscard]] std::vector<Neighbor> topk(
       NodeId u, std::size_t k, Similarity sim = Similarity::kCosine,
-      std::size_t nprobe_override = 0) const;
+      std::size_t nprobe_override = 0) const override;
 
   /// Top-k against an arbitrary query vector (dims entries).
   /// `exclude` removes one node id from the results (pass num_nodes()
@@ -97,7 +207,8 @@ class QueryEngine {
   /// Link-prediction score of candidate edge (u, v) — exactly
   /// eval/link_prediction.hpp's score_edge on this snapshot.
   [[nodiscard]] double score(NodeId u, NodeId v,
-                             EdgeScore kind = EdgeScore::kCosine) const {
+                             EdgeScore kind = EdgeScore::kCosine)
+      const override {
     return score_edge(snap_->embedding, u, v, kind);
   }
 
@@ -119,13 +230,10 @@ class QueryEngine {
   std::shared_ptr<const Snapshot> snap_;
   IndexConfig cfg_;
   MatrixF normalized_;  ///< rows L2-normalized (zero rows stay zero)
-  // IVF state (empty unless cfg_.kind == kIvf): spherical k-means
-  // centroids (unit rows), CSR member lists, and the normalized rows
-  // re-packed in list order so a probed cell scans contiguously.
-  MatrixF centroids_;
-  std::vector<std::uint32_t> list_off_;
-  std::vector<std::uint32_t> list_nodes_;
-  MatrixF packed_rows_;  ///< row i = normalized_.row(list_nodes_[i])
+  // IVF state (empty unless cfg_.kind == kIvf), plus the normalized
+  // rows re-packed in list order so a probed cell scans contiguously.
+  IvfIndex ivf_;
+  MatrixF packed_rows_;  ///< row i = normalized_.row(ivf_.list_nodes[i])
 };
 
 /// recall@k of `approx` against exact ground truth `exact`: fraction of

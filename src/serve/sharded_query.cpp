@@ -1,0 +1,234 @@
+#include "serve/sharded_query.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/kernels.hpp"
+
+namespace seqge::serve {
+
+// One shard's query-side state: the shard snapshot (kept alive for raw
+// row access), its rows L2-normalized into a contiguous matrix, and —
+// when the config asks for IVF — a per-shard quantizer. Immutable once
+// constructed; "incremental" construction copies the previous state and
+// patches only the changed rows before freezing.
+class ShardedQueryEngine::Shard {
+ public:
+  /// Fresh build: normalize every row, train the quantizer from
+  /// scratch.
+  Shard(std::shared_ptr<const ShardSnapshot> snap, const IndexConfig& cfg)
+      : snap_(std::move(snap)),
+        normalized_(snap_->num_rows(), snap_->dims) {
+    for (std::size_t r = 0; r < snap_->num_rows(); ++r) {
+      auto src = snap_->row(r);
+      std::copy(src.begin(), src.end(), normalized_.row(r).begin());
+    }
+    l2_normalize_rows(normalized_);
+    if (cfg.kind == IndexConfig::Kind::kIvf && snap_->num_rows() > 0) {
+      ivf_.build(normalized_, cfg);
+    }
+  }
+
+  /// Incremental refresh: start from `prev`'s state and re-normalize
+  /// only the rows changed since the shared base. The quantizer's
+  /// centroids are kept as-is (no re-clustering); a changed row re-runs
+  /// the nearest-centroid scan only once its affinity to its assigned
+  /// centroid has decayed more than `threshold` below the
+  /// assignment-time baseline (IvfIndex::cell_dot) — measured against
+  /// the baseline, not the previous refresh, so sub-threshold drift
+  /// accumulates across refreshes instead of escaping re-assignment
+  /// forever.
+  Shard(const Shard& prev, std::shared_ptr<const ShardSnapshot> snap,
+        float threshold, ShardedRefreshStats& stats)
+      : snap_(std::move(snap)),
+        normalized_(prev.normalized_),
+        ivf_(prev.ivf_) {
+    std::vector<float> fresh(snap_->dims);
+    bool lists_dirty = false;
+    for (std::uint32_t r : snap_->changed_since_base) {
+      auto src = snap_->row(r);
+      fresh.assign(src.begin(), src.end());
+      l2_normalize(fresh);
+      auto dst = normalized_.row(r);
+      std::copy(fresh.begin(), fresh.end(), dst.begin());
+      ++stats.rows_updated;
+      if (!ivf_.empty()) {
+        const float affinity =
+            dot<float>(ivf_.centroids.row(ivf_.cell[r]), dst);
+        if (ivf_.cell_dot[r] - affinity > threshold) {
+          float best_dot = -2.0f;
+          const auto c =
+              static_cast<std::uint32_t>(ivf_.nearest(dst, best_dot));
+          ivf_.cell_dot[r] = best_dot;  // new assignment-time baseline
+          if (c != ivf_.cell[r]) {
+            ivf_.cell[r] = c;
+            lists_dirty = true;
+            ++stats.rows_reassigned;
+          }
+        }
+      }
+    }
+    if (lists_dirty) ivf_.rebuild_lists();
+  }
+
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return snap_->version;
+  }
+  [[nodiscard]] std::uint64_t base_version() const noexcept {
+    return snap_->base_version;
+  }
+  [[nodiscard]] std::size_t num_rows() const noexcept {
+    return snap_->num_rows();
+  }
+  [[nodiscard]] NodeId row_begin() const noexcept {
+    return snap_->row_begin;
+  }
+  [[nodiscard]] std::span<const float> raw_row(std::size_t local) const {
+    return snap_->row(local);
+  }
+
+  /// Exact scan of every row (local order == ascending global id),
+  /// offering global node ids — the fan-out half of the exact path.
+  void scan_exact(std::span<const float> q, Similarity sim,
+                  NodeId exclude_global, TopKAccumulator& top) const {
+    const NodeId begin = snap_->row_begin;
+    if (sim == Similarity::kCosine) {
+      for (std::size_t r = 0; r < normalized_.rows(); ++r) {
+        const NodeId node = begin + static_cast<NodeId>(r);
+        if (node == exclude_global) continue;
+        top.offer(node, dot<float>(normalized_.row(r), q));
+      }
+    } else {
+      for (std::size_t r = 0; r < num_rows(); ++r) {
+        const NodeId node = begin + static_cast<NodeId>(r);
+        if (node == exclude_global) continue;
+        top.offer(node, dot<float>(snap_->row(r), q));
+      }
+    }
+  }
+
+  /// Probe the `nprobe` best cells of this shard's quantizer (cosine
+  /// only). Falls back to the exact cosine scan when the shard has no
+  /// index or nprobe covers every cell.
+  void scan_ivf(std::span<const float> unit_q, std::size_t nprobe,
+                NodeId exclude_global, TopKAccumulator& top) const {
+    if (ivf_.empty() || nprobe >= ivf_.nlist()) {
+      scan_exact(unit_q, Similarity::kCosine, exclude_global, top);
+      return;
+    }
+    TopKAccumulator cell_top(nprobe);
+    for (std::size_t c = 0; c < ivf_.nlist(); ++c) {
+      cell_top.offer(static_cast<NodeId>(c),
+                     dot<float>(ivf_.centroids.row(c), unit_q));
+    }
+    const NodeId begin = snap_->row_begin;
+    for (const Neighbor& cell : cell_top.take()) {
+      for (std::uint32_t i = ivf_.list_off[cell.node];
+           i < ivf_.list_off[cell.node + 1]; ++i) {
+        const std::uint32_t r = ivf_.list_nodes[i];
+        const NodeId node = begin + static_cast<NodeId>(r);
+        if (node == exclude_global) continue;
+        top.offer(node, dot<float>(normalized_.row(r), unit_q));
+      }
+    }
+  }
+
+ private:
+  std::shared_ptr<const ShardSnapshot> snap_;
+  MatrixF normalized_;
+  IvfIndex ivf_;
+};
+
+ShardedQueryEngine::ShardedQueryEngine(const ShardedEmbeddingStore& store,
+                                       ShardedIndexConfig cfg,
+                                       const ShardedQueryEngine* previous)
+    : cfg_(cfg) {
+  // Sample the version before the shard heads: heads read afterwards
+  // are at least this fresh, so engine versions — and the response
+  // versions the server reports — stay monotonic across rebuilds.
+  version_ = store.version();
+  const auto views = store.view();
+  if (views.empty()) {
+    throw std::invalid_argument("ShardedQueryEngine: store is empty");
+  }
+  // view() being non-empty establishes version() > 0, so the store's
+  // layout is published and safe to copy.
+  layout_ = store.layout();
+  dims_ = views.front()->dims;
+
+  shards_.reserve(views.size());
+  for (std::size_t s = 0; s < views.size(); ++s) {
+    const Shard* prev = previous != nullptr && s < previous->shards_.size()
+                            ? previous->shards_[s].get()
+                            : nullptr;
+    const auto& snap = views[s];
+    if (prev != nullptr && prev->version() == snap->version) {
+      shards_.push_back(previous->shards_[s]);
+      ++stats_.shards_reused;
+    } else if (prev != nullptr && prev->num_rows() == snap->num_rows() &&
+               snap->base_version <= prev->version()) {
+      shards_.push_back(std::make_shared<const Shard>(
+          *prev, snap, cfg_.reassign_threshold, stats_));
+      ++stats_.shards_refreshed;
+    } else {
+      shards_.push_back(std::make_shared<const Shard>(snap, cfg_.index));
+      ++stats_.shards_rebuilt;
+    }
+  }
+}
+
+ShardedQueryEngine::~ShardedQueryEngine() = default;
+
+std::span<const float> ShardedQueryEngine::embedding_row(NodeId u) const {
+  if (u >= layout_.num_rows) {
+    throw std::invalid_argument(
+        "ShardedQueryEngine::embedding_row: node out of range");
+  }
+  const std::size_t s = layout_.shard_of(u);
+  return shards_[s]->raw_row(u - shards_[s]->row_begin());
+}
+
+std::vector<Neighbor> ShardedQueryEngine::topk(
+    std::span<const float> query, std::size_t k, Similarity sim,
+    NodeId exclude, std::size_t nprobe_override) const {
+  if (query.size() != dims_) {
+    throw std::invalid_argument(
+        "ShardedQueryEngine::topk: query dims mismatch");
+  }
+  std::vector<float> unit;
+  std::span<const float> q = query;
+  if (sim == Similarity::kCosine) {
+    unit.assign(query.begin(), query.end());
+    l2_normalize(unit);
+    q = unit;
+  }
+
+  TopKAccumulator top(k);
+  const bool use_ivf =
+      cfg_.index.kind == IndexConfig::Kind::kIvf &&
+      sim == Similarity::kCosine;
+  const std::size_t nprobe =
+      nprobe_override != 0 ? nprobe_override : cfg_.index.nprobe;
+  for (const auto& shard : shards_) {
+    if (use_ivf) {
+      shard->scan_ivf(q, nprobe, exclude, top);
+    } else {
+      shard->scan_exact(q, sim, exclude, top);
+    }
+  }
+  return top.take();
+}
+
+std::vector<Neighbor> ShardedQueryEngine::topk(
+    NodeId u, std::size_t k, Similarity sim,
+    std::size_t nprobe_override) const {
+  // Route through the raw row, exactly like QueryEngine's node
+  // overload, so the two produce identical results on the exact path.
+  return topk(embedding_row(u), k, sim, u, nprobe_override);
+}
+
+double ShardedQueryEngine::score(NodeId u, NodeId v, EdgeScore kind) const {
+  return score_edge(embedding_row(u), embedding_row(v), kind);
+}
+
+}  // namespace seqge::serve
