@@ -5,8 +5,12 @@
 // whole suite finishes on a small CI box — pass --full for paper-scale),
 // and (c) a table whose rows mirror the paper's.
 
+#include <cinttypes>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "embedding/backend_registry.hpp"
@@ -16,11 +20,184 @@
 #include "eval/node_classification.hpp"
 #include "graph/datasets.hpp"
 #include "graph/stats.hpp"
+#include "linalg/simd.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace seqge::bench {
+
+/// Minimal ordered JSON value for the BENCH_*.json artifacts the
+/// benches emit under --json. Insertion order is preserved so the
+/// files diff cleanly run-to-run; covers exactly what the benches
+/// need (objects, arrays, strings, numbers, bools).
+class Json {
+ public:
+  Json() = default;
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+  static Json str(std::string s) {
+    Json j(Kind::kString);
+    j.str_ = std::move(s);
+    return j;
+  }
+  static Json num(double v) {
+    Json j(Kind::kNumber);
+    j.num_ = v;
+    return j;
+  }
+  static Json num(std::size_t v) {
+    Json j(Kind::kInt);
+    j.int_ = static_cast<std::int64_t>(v);
+    return j;
+  }
+  static Json num(std::int64_t v) {
+    Json j(Kind::kInt);
+    j.int_ = v;
+    return j;
+  }
+  static Json boolean(bool v) {
+    Json j(Kind::kBool);
+    j.bool_ = v;
+    return j;
+  }
+
+  Json& set(std::string key, Json v) {
+    fields_.emplace_back(std::move(key), std::move(v));
+    return *this;
+  }
+  Json& push(Json v) {
+    items_.push_back(std::move(v));
+    return *this;
+  }
+
+  [[nodiscard]] std::string dump(int indent = 0) const {
+    std::string out;
+    write(out, indent);
+    out.push_back('\n');
+    return out;
+  }
+
+ private:
+  enum class Kind { kNull, kObject, kArray, kString, kNumber, kInt, kBool };
+  explicit Json(Kind k) : kind_(k) {}
+
+  static void escape(const std::string& s, std::string& out) {
+    out.push_back('"');
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    out.push_back('"');
+  }
+
+  void write(std::string& out, int indent) const {
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string pad1(static_cast<std::size_t>(indent + 1) * 2, ' ');
+    char buf[64];
+    switch (kind_) {
+      case Kind::kNull: out += "null"; break;
+      case Kind::kString: escape(str_, out); break;
+      case Kind::kNumber:
+        std::snprintf(buf, sizeof(buf), "%.10g", num_);
+        out += buf;
+        break;
+      case Kind::kInt:
+        std::snprintf(buf, sizeof(buf), "%" PRId64, int_);
+        out += buf;
+        break;
+      case Kind::kBool: out += bool_ ? "true" : "false"; break;
+      case Kind::kObject: {
+        if (fields_.empty()) {
+          out += "{}";
+          break;
+        }
+        out += "{\n";
+        for (std::size_t i = 0; i < fields_.size(); ++i) {
+          out += pad1;
+          escape(fields_[i].first, out);
+          out += ": ";
+          fields_[i].second.write(out, indent + 1);
+          if (i + 1 < fields_.size()) out.push_back(',');
+          out.push_back('\n');
+        }
+        out += pad + "}";
+        break;
+      }
+      case Kind::kArray: {
+        if (items_.empty()) {
+          out += "[]";
+          break;
+        }
+        out += "[\n";
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+          out += pad1;
+          items_[i].write(out, indent + 1);
+          if (i + 1 < items_.size()) out.push_back(',');
+          out.push_back('\n');
+        }
+        out += pad + "]";
+        break;
+      }
+    }
+  }
+
+  Kind kind_ = Kind::kNull;
+  std::string str_;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool bool_ = false;
+  std::vector<std::pair<std::string, Json>> fields_;
+  std::vector<Json> items_;
+};
+
+/// Machine block shared by every BENCH_*.json: the resolved SIMD ISA
+/// (the single most result-relevant fact on the serving side), thread
+/// budget, and toolchain.
+inline Json machine_json() {
+  Json m = Json::object();
+  m.set("simd_isa", Json::str(simd::isa_name()));
+  m.set("hardware_threads",
+        Json::num(static_cast<std::size_t>(
+            std::thread::hardware_concurrency())));
+#if defined(__VERSION__)
+  m.set("compiler", Json::str(__VERSION__));
+#endif
+#if defined(NDEBUG)
+  m.set("build", Json::str("release"));
+#else
+  m.set("build", Json::str("debug"));
+#endif
+  m.set("pointer_bits", Json::num(sizeof(void*) * 8));
+  return m;
+}
+
+/// Write `root` to `path`; returns false (with a message) on I/O error.
+inline bool write_json_file(const std::string& path, const Json& root) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string text = root.dump();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (ok) std::printf("wrote %s\n", path.c_str());
+  return ok;
+}
 
 inline void print_header(const std::string& artifact,
                          const std::string& description) {

@@ -13,9 +13,14 @@
 // per-shard snapshots. --shards 1 (default) keeps the single-snapshot
 // EmbeddingStore.
 //
+// --quant int8 switches the engines to the int8 quantized candidate
+// scan with float re-rank (serve/quantized_store.hpp); --scan-threads N
+// fans the sharded exact scan out over N threads (bit-identical to the
+// sequential scan).
+//
 //   ./examples/embedding_server [--model fpga] [--nodes 300]
 //       [--top-k 5] [--serve-threads 2] [--snapshot-every 64]
-//       [--shards 4]
+//       [--shards 4] [--quant int8|none] [--scan-threads 2]
 
 #include <atomic>
 #include <cstdio>
@@ -38,6 +43,8 @@ int main(int argc, char** argv) {
   std::int64_t nodes = 300, ba_edges = 3, dims = 16, seed = 42;
   std::size_t top_k = 5, serve_threads = 2, snapshot_every = 64;
   std::size_t max_insertions = 400, walks_per_node = 3, shards = 1;
+  std::size_t scan_threads = 0;
+  std::string quant = "none";
   ArgParser args("embedding_server",
                  "train online on a growing graph while serving k-NN "
                  "queries against versioned embedding snapshots");
@@ -56,6 +63,11 @@ int main(int argc, char** argv) {
   args.add_size("shards", &shards,
                 "shard the store by node range (1 = unsharded); delta "
                 "publishing + fan-out queries when > 1");
+  args.add_choice("quant", &quant, {"none", "int8"},
+                  "scan arithmetic: float rows or int8 quantized rows "
+                  "with float re-rank");
+  args.add_size("scan-threads", &scan_threads,
+                "threads for the sharded fan-out scan (0 = sequential)");
   args.add_int("seed", &seed, "random seed");
   if (!args.parse(argc, argv)) return 1;
 
@@ -129,6 +141,8 @@ int main(int argc, char** argv) {
 
   serve::ServerConfig srv_cfg;
   srv_cfg.threads = serve_threads;
+  if (quant == "int8") srv_cfg.index.quant = serve::QuantMode::kInt8;
+  srv_cfg.scan_threads = scan_threads;
   auto server = store != nullptr
                     ? std::make_unique<serve::EmbeddingServer>(store, srv_cfg)
                     : std::make_unique<serve::EmbeddingServer>(sharded_store,

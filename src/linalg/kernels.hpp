@@ -3,12 +3,18 @@
 // of primitives used by the skip-gram/OS-ELM trainers; each is written as
 // a simple auto-vectorizable loop. OpenMP is applied only where the trip
 // count warrants it (matvec over the full vocabulary).
+//
+// The float instantiations of dot/axpy/scale/l2_norm are specialized to
+// the ISA-dispatched kernels in linalg/simd.hpp (AVX2/NEON at runtime,
+// exact scalar reference under SEQGE_DISABLE_SIMD); every other type
+// keeps the plain loops below.
 
 #include <cmath>
 #include <cstddef>
 #include <span>
 
 #include "linalg/matrix.hpp"
+#include "linalg/simd.hpp"
 
 namespace seqge {
 
@@ -32,6 +38,25 @@ void axpy(T a, std::span<const T> x, std::span<T> y) noexcept {
 template <typename T>
 void scale(T a, std::span<T> x) noexcept {
   for (auto& v : x) v *= a;
+}
+
+template <>
+[[nodiscard]] inline float dot<float>(std::span<const float> x,
+                                      std::span<const float> y) noexcept {
+  assert(x.size() == y.size());
+  return simd::dot(x.data(), y.data(), x.size());
+}
+
+template <>
+inline void axpy<float>(float a, std::span<const float> x,
+                        std::span<float> y) noexcept {
+  assert(x.size() == y.size());
+  simd::axpy(a, x.data(), y.data(), x.size());
+}
+
+template <>
+inline void scale<float>(float a, std::span<float> x) noexcept {
+  simd::scale(a, x.data(), x.size());
 }
 
 /// y = x
@@ -80,6 +105,12 @@ template <typename T>
   double acc = 0.0;
   for (auto v : x) acc += static_cast<double>(v) * static_cast<double>(v);
   return std::sqrt(acc);
+}
+
+template <>
+[[nodiscard]] inline double l2_norm<float>(
+    std::span<const float> x) noexcept {
+  return simd::l2_norm(x.data(), x.size());
 }
 
 /// Frobenius norm of a matrix.

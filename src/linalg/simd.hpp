@@ -1,0 +1,143 @@
+#pragma once
+// ISA-dispatched dense kernels for the float serving/training hot paths
+// and the int8 quantized scan (serve/quantized_store.hpp).
+//
+// Three implementations sit behind one function-pointer table:
+//  * scalar  — always built, bit-identical to the plain loops that
+//    linalg/kernels.hpp shipped before vectorization (the fallback and
+//    the reference the equivalence tests compare against);
+//  * AVX2+FMA — built on x86-64 as a separate translation unit compiled
+//    with -mavx2 -mfma (the rest of the library keeps the baseline
+//    ISA), selected at runtime via cpuid so one binary runs on any
+//    x86-64 machine;
+//  * NEON — selected at compile time on aarch64 (NEON is baseline
+//    there).
+//
+// The table is chosen once, at first use, and never changes: results
+// are deterministic for a given ISA. Across ISAs, float results may
+// differ in the last ulps (vector accumulation reorders the sum; FMA
+// contracts rounding steps) — every float kernel here documents its
+// accumulation order so "deterministic per ISA" is a checkable claim.
+// The int8 kernels are integer arithmetic and therefore bit-identical
+// across every implementation (the tests assert exact equality).
+//
+// Per-row canonical order: dot_batch computes row i's score with
+// exactly the same accumulation order as a 1-row call would, whatever
+// blocking the implementation uses across rows. That is what makes the
+// sharded fan-out scan (per-shard row blocks) bit-identical to the
+// single-store scan over the same rows — the serving tests gate on it.
+//
+// Build knobs: -DSEQGE_DISABLE_SIMD (CMake option of the same name)
+// forces the scalar table at compile time — the "no SIMD" CI leg.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace seqge::simd {
+
+enum class Isa { kScalar, kAvx2, kNeon };
+
+/// The ISA the dispatch table resolved to (fixed for process lifetime).
+[[nodiscard]] Isa active_isa() noexcept;
+/// "scalar" | "avx2" | "neon" — for bench/JSON reporting.
+[[nodiscard]] const char* isa_name() noexcept;
+
+// --- float kernels (dispatched) ---------------------------------------------
+
+/// sum_i x[i] * y[i]. Vector ISAs: one W-wide accumulator stepped W at
+/// a time, fixed-order horizontal reduction, scalar tail.
+[[nodiscard]] float dot(const float* x, const float* y,
+                        std::size_t n) noexcept;
+
+/// y[i] += a * x[i] (elementwise; no cross-lane reassociation).
+void axpy(float a, const float* x, float* y, std::size_t n) noexcept;
+
+/// x[i] *= a.
+void scale(float a, float* x, std::size_t n) noexcept;
+
+/// sqrt(sum x[i]^2), accumulated in double on every ISA (the scalar
+/// baseline always accumulated in double; the vector paths widen each
+/// lane before accumulating so precision does not regress).
+[[nodiscard]] double l2_norm(const float* x, std::size_t n) noexcept;
+
+/// scores[i] = dot(rows + i * dims, q) for i in [0, n) — the batched
+/// rows-vs-query kernel behind every exact/IVF scan. Row results are
+/// bit-identical to per-row dot() calls on the same ISA regardless of
+/// how the implementation blocks across rows.
+void dot_batch(const float* rows, std::size_t n, std::size_t dims,
+               const float* q, float* scores) noexcept;
+
+// --- int8 kernels (dispatched, bit-exact across ISAs) -----------------------
+
+/// sum_i int32(x[i]) * int32(y[i]).
+[[nodiscard]] std::int32_t dot_i8(const std::int8_t* x, const std::int8_t* y,
+                                  std::size_t n) noexcept;
+
+/// out[i] = dot_i8(rows + i * dims, q) for i in [0, n).
+void dot_i8_batch(const std::int8_t* rows, std::size_t n, std::size_t dims,
+                  const std::int8_t* q, std::int32_t* out) noexcept;
+
+// --- scalar reference (always available) ------------------------------------
+// The exact pre-vectorization loops. The dispatched functions above
+// resolve to these on Isa::kScalar; tests compare against them
+// directly, whatever ISA is active.
+namespace scalar {
+[[nodiscard]] float dot(const float* x, const float* y,
+                        std::size_t n) noexcept;
+void axpy(float a, const float* x, float* y, std::size_t n) noexcept;
+void scale(float a, float* x, std::size_t n) noexcept;
+[[nodiscard]] double l2_norm(const float* x, std::size_t n) noexcept;
+void dot_batch(const float* rows, std::size_t n, std::size_t dims,
+               const float* q, float* scores) noexcept;
+[[nodiscard]] std::int32_t dot_i8(const std::int8_t* x, const std::int8_t* y,
+                                  std::size_t n) noexcept;
+void dot_i8_batch(const std::int8_t* rows, std::size_t n, std::size_t dims,
+                  const std::int8_t* q, std::int32_t* out) noexcept;
+}  // namespace scalar
+
+// --- fused scan --------------------------------------------------------------
+
+/// Fused rows-vs-query top-k scan: computes dot_batch block by block
+/// into a stack buffer and hands (row_index, score) to `offer` — the
+/// caller plugs in its TopKAccumulator (and its exclusion test) without
+/// this header depending on serve/. Scores are identical to a full
+/// dot_batch over [0, n).
+template <typename Offer>
+void dot_topk_scan(const float* rows, std::size_t n, std::size_t dims,
+                   const float* q, Offer&& offer) {
+  constexpr std::size_t kBlock = 128;
+  float scores[kBlock];
+  for (std::size_t base = 0; base < n; base += kBlock) {
+    const std::size_t count = n - base < kBlock ? n - base : kBlock;
+    dot_batch(rows + base * dims, count, dims, q, scores);
+    for (std::size_t i = 0; i < count; ++i) offer(base + i, scores[i]);
+  }
+}
+
+/// Int8 variant of the fused scan: offers raw int32 dot products; the
+/// caller applies its scale factors.
+template <typename Offer>
+void dot_i8_topk_scan(const std::int8_t* rows, std::size_t n,
+                      std::size_t dims, const std::int8_t* q,
+                      Offer&& offer) {
+  constexpr std::size_t kBlock = 128;
+  std::int32_t acc[kBlock];
+  for (std::size_t base = 0; base < n; base += kBlock) {
+    const std::size_t count = n - base < kBlock ? n - base : kBlock;
+    dot_i8_batch(rows + base * dims, count, dims, q, acc);
+    for (std::size_t i = 0; i < count; ++i) offer(base + i, acc[i]);
+  }
+}
+
+// --- span conveniences --------------------------------------------------------
+
+[[nodiscard]] inline float dot(std::span<const float> x,
+                               std::span<const float> y) noexcept {
+  return dot(x.data(), y.data(), x.size());
+}
+[[nodiscard]] inline double l2_norm(std::span<const float> x) noexcept {
+  return l2_norm(x.data(), x.size());
+}
+
+}  // namespace seqge::simd

@@ -1,0 +1,225 @@
+// AVX2+FMA kernels. This TU (and only this TU) is compiled with
+// -mavx2 -mfma on x86-64 builds; everything here is self-guarded with
+// __AVX2__ so the file compiles to nothing if the flags are absent.
+// Selection happens at runtime in simd.cpp via avx2::supported(), so
+// the binary still runs on pre-AVX2 machines.
+//
+// Accumulation-order contract (see simd.hpp): dot uses ONE 8-wide
+// accumulator stepped 8 floats at a time, a fixed-order horizontal
+// reduction, and a scalar tail; dot_batch applies exactly that order
+// to each row, whatever its cross-row blocking. l2_norm widens every
+// lane to double before accumulating, matching the scalar baseline's
+// double accumulator precision.
+
+#include "linalg/simd.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace seqge::simd::avx2 {
+
+namespace {
+
+// Fixed-order horizontal sum: (lo128 + hi128), then pairwise within
+// the 128-bit half — same tree for every call site so row scores are
+// reproducible.
+inline float hsum256(__m256 v) noexcept {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);            // [a0+a4, a1+a5, a2+a6, a3+a7]
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));   // [a0+a4+a2+a6, a1+a5+a3+a7, ..]
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+inline double hsum256d(__m256d v) noexcept {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  __m128d s = _mm_add_pd(lo, hi);
+  s = _mm_add_sd(s, _mm_unpackhi_pd(s, s));
+  return _mm_cvtsd_f64(s);
+}
+
+}  // namespace
+
+bool supported() noexcept {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+float dot(const float* x, const float* y, std::size_t n) noexcept {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i), acc);
+  }
+  float sum = hsum256(acc);
+  // std::fmaf pins the tail to one rounding per element (a single
+  // vfmadd), so dot_batch's tails below are bit-identical to this one
+  // no matter how the compiler contracts or SLP-vectorizes either loop.
+  for (; i < n; ++i) sum = std::fmaf(x[i], y[i], sum);
+  return sum;
+}
+
+void axpy(float a, const float* x, float* y, std::size_t n) noexcept {
+  const __m256 av = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 r =
+        _mm256_fmadd_ps(av, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(y + i, r);
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void scale(float a, float* x, std::size_t n) noexcept {
+  const __m256 av = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), av));
+  }
+  for (; i < n; ++i) x[i] *= a;
+}
+
+double l2_norm(const float* x, std::size_t n) noexcept {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+    const __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+    acc0 = _mm256_fmadd_pd(lo, lo, acc0);
+    acc1 = _mm256_fmadd_pd(hi, hi, acc1);
+  }
+  double sum = hsum256d(acc0) + hsum256d(acc1);
+  for (; i < n; ++i) {
+    sum += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+  }
+  return std::sqrt(sum);
+}
+
+void dot_batch(const float* rows, std::size_t n, std::size_t dims,
+               const float* q, float* scores) noexcept {
+  std::size_t r = 0;
+  // Four rows per pass share each load of q. Each row keeps its own
+  // single 8-wide accumulator and its own scalar tail — the canonical
+  // per-row order — so scores match 1-row dot() calls exactly.
+  for (; r + 4 <= n; r += 4) {
+    const float* r0 = rows + (r + 0) * dims;
+    const float* r1 = rows + (r + 1) * dims;
+    const float* r2 = rows + (r + 2) * dims;
+    const float* r3 = rows + (r + 3) * dims;
+    __m256 a0 = _mm256_setzero_ps();
+    __m256 a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps();
+    __m256 a3 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 8 <= dims; i += 8) {
+      const __m256 qv = _mm256_loadu_ps(q + i);
+      a0 = _mm256_fmadd_ps(_mm256_loadu_ps(r0 + i), qv, a0);
+      a1 = _mm256_fmadd_ps(_mm256_loadu_ps(r1 + i), qv, a1);
+      a2 = _mm256_fmadd_ps(_mm256_loadu_ps(r2 + i), qv, a2);
+      a3 = _mm256_fmadd_ps(_mm256_loadu_ps(r3 + i), qv, a3);
+    }
+    float s0 = hsum256(a0);
+    float s1 = hsum256(a1);
+    float s2 = hsum256(a2);
+    float s3 = hsum256(a3);
+    for (; i < dims; ++i) {
+      s0 = std::fmaf(r0[i], q[i], s0);
+      s1 = std::fmaf(r1[i], q[i], s1);
+      s2 = std::fmaf(r2[i], q[i], s2);
+      s3 = std::fmaf(r3[i], q[i], s3);
+    }
+    scores[r + 0] = s0;
+    scores[r + 1] = s1;
+    scores[r + 2] = s2;
+    scores[r + 3] = s3;
+  }
+  for (; r < n; ++r) scores[r] = dot(rows + r * dims, q, dims);
+}
+
+namespace {
+
+inline std::int32_t hsum256i(__m256i acc) noexcept {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x4E));  // swap 64-bit halves
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0xB1));  // swap 32-bit pairs
+  return _mm_cvtsi128_si32(s);
+}
+
+inline __m256i widen_i8(const std::int8_t* p) noexcept {
+  return _mm256_cvtepi8_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+}  // namespace
+
+std::int32_t dot_i8(const std::int8_t* x, const std::int8_t* y,
+                    std::size_t n) noexcept {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    // madd: pairwise i16*i16 -> i32 sums. 16 lanes of i16 products each
+    // bounded by 127*127, so the pairwise i32 sums cannot overflow.
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(widen_i8(x + i),
+                                                  widen_i8(y + i)));
+  }
+  std::int32_t sum = hsum256i(acc);
+  for (; i < n; ++i) {
+    sum += static_cast<std::int32_t>(x[i]) * static_cast<std::int32_t>(y[i]);
+  }
+  return sum;
+}
+
+void dot_i8_batch(const std::int8_t* rows, std::size_t n, std::size_t dims,
+                  const std::int8_t* q, std::int32_t* out) noexcept {
+  // Four rows per pass share each widen of q (the sign-extension is the
+  // expensive step, so amortizing it across rows nearly halves the scan
+  // cost). Integer addition is associative, so any blocking gives the
+  // same bits — no accumulation-order contract needed here.
+  std::size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    const std::int8_t* r0 = rows + (r + 0) * dims;
+    const std::int8_t* r1 = rows + (r + 1) * dims;
+    const std::int8_t* r2 = rows + (r + 2) * dims;
+    const std::int8_t* r3 = rows + (r + 3) * dims;
+    __m256i a0 = _mm256_setzero_si256();
+    __m256i a1 = _mm256_setzero_si256();
+    __m256i a2 = _mm256_setzero_si256();
+    __m256i a3 = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 16 <= dims; i += 16) {
+      const __m256i qv = widen_i8(q + i);
+      a0 = _mm256_add_epi32(a0, _mm256_madd_epi16(widen_i8(r0 + i), qv));
+      a1 = _mm256_add_epi32(a1, _mm256_madd_epi16(widen_i8(r1 + i), qv));
+      a2 = _mm256_add_epi32(a2, _mm256_madd_epi16(widen_i8(r2 + i), qv));
+      a3 = _mm256_add_epi32(a3, _mm256_madd_epi16(widen_i8(r3 + i), qv));
+    }
+    std::int32_t s0 = hsum256i(a0);
+    std::int32_t s1 = hsum256i(a1);
+    std::int32_t s2 = hsum256i(a2);
+    std::int32_t s3 = hsum256i(a3);
+    for (; i < dims; ++i) {
+      const std::int32_t qi = q[i];
+      s0 += static_cast<std::int32_t>(r0[i]) * qi;
+      s1 += static_cast<std::int32_t>(r1[i]) * qi;
+      s2 += static_cast<std::int32_t>(r2[i]) * qi;
+      s3 += static_cast<std::int32_t>(r3[i]) * qi;
+    }
+    out[r + 0] = s0;
+    out[r + 1] = s1;
+    out[r + 2] = s2;
+    out[r + 3] = s3;
+  }
+  for (; r < n; ++r) out[r] = dot_i8(rows + r * dims, q, dims);
+}
+
+}  // namespace seqge::simd::avx2
+
+#endif  // __AVX2__ && __FMA__

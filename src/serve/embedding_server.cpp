@@ -107,8 +107,9 @@ std::shared_ptr<const SearchEngine> EmbeddingServer::engine() {
     const auto* prev =
         dynamic_cast<const ShardedQueryEngine*>(cached.get());
     built = std::make_shared<const ShardedQueryEngine>(
-        *sharded_store_, ShardedIndexConfig{cfg_.index,
-                                            cfg_.ivf_reassign_threshold},
+        *sharded_store_,
+        ShardedIndexConfig{cfg_.index, cfg_.ivf_reassign_threshold,
+                           cfg_.scan_threads},
         prev);
   }
   engine_.store(built, std::memory_order_release);

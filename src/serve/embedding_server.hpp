@@ -57,6 +57,9 @@ struct ServerConfig {
   /// incrementally refreshed row re-runs its nearest-IVF-cell scan
   /// (ShardedIndexConfig::reassign_threshold).
   float ivf_reassign_threshold = 0.05f;
+  /// Sharded stores only: threads per query for the per-shard fan-out
+  /// (ShardedIndexConfig::scan_threads; 0/1 = sequential scan).
+  std::size_t scan_threads = 0;
   /// Latency samples retained for the percentile summary (most recent
   /// wins; 0 = keep the default window).
   std::size_t latency_window = 1 << 16;

@@ -1,0 +1,110 @@
+#include "serve/quantized_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace seqge::serve {
+
+namespace {
+
+// Symmetric scale for one block of values: max|x| / 127, optionally
+// rounded up to the next power of two (the round-up keeps codes inside
+// [-127, 127]). An all-zero block gets scale 0 and all-zero codes.
+float block_scale(std::span<const float> x, bool pow2) {
+  float max_abs = 0.0f;
+  for (float v : x) max_abs = std::max(max_abs, std::abs(v));
+  if (max_abs == 0.0f) return 0.0f;
+  float s = max_abs / 127.0f;
+  if (pow2) s = std::exp2(std::ceil(std::log2(s)));
+  return s;
+}
+
+void quantize_block(std::span<const float> x, float scale,
+                    std::int8_t* codes) {
+  if (scale == 0.0f) {
+    std::fill(codes, codes + x.size(), std::int8_t{0});
+    return;
+  }
+  const float inv = 1.0f / scale;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float q = std::round(x[i] * inv);
+    codes[i] = static_cast<std::int8_t>(
+        std::clamp(q, -127.0f, 127.0f));
+  }
+}
+
+}  // namespace
+
+QuantizedRowStore::QuantizedRowStore(const MatrixF& rows,
+                                     const QuantConfig& cfg)
+    : cfg_(cfg), rows_(rows.rows()), dims_(rows.cols()) {
+  block_dims_ = cfg_.block == 0 ? dims_ : std::min(cfg_.block, dims_);
+  if (block_dims_ == 0) block_dims_ = 1;
+  blocks_ = (dims_ + block_dims_ - 1) / block_dims_;
+  codes_.resize(rows_ * dims_);
+  scales_.resize(rows_ * blocks_);
+  for (std::size_t r = 0; r < rows_; ++r) requantize_row(r, rows.row(r));
+}
+
+void QuantizedRowStore::requantize_row(std::size_t r,
+                                       std::span<const float> row) {
+  assert(r < rows_ && row.size() == dims_);
+  std::int8_t* codes = codes_.data() + r * dims_;
+  float* scales = scales_.data() + r * blocks_;
+  for (std::size_t b = 0; b < blocks_; ++b) {
+    const std::size_t off = b * block_dims_;
+    const std::size_t len = std::min(block_dims_, dims_ - off);
+    const auto x = row.subspan(off, len);
+    scales[b] = block_scale(x, cfg_.pow2_scales);
+    quantize_block(x, scales[b], codes + off);
+  }
+}
+
+QuantizedRowStore::QuantizedQuery QuantizedRowStore::quantize_query(
+    std::span<const float> q, const QuantConfig& cfg) {
+  const std::size_t dims = q.size();
+  std::size_t bd = cfg.block == 0 ? dims : std::min(cfg.block, dims);
+  if (bd == 0) bd = 1;
+  const std::size_t blocks = dims == 0 ? 0 : (dims + bd - 1) / bd;
+  QuantizedQuery out;
+  out.codes.resize(dims);
+  out.scales.resize(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t off = b * bd;
+    const std::size_t len = std::min(bd, dims - off);
+    const auto x = q.subspan(off, len);
+    out.scales[b] = block_scale(x, cfg.pow2_scales);
+    quantize_block(x, out.scales[b], out.codes.data() + off);
+  }
+  return out;
+}
+
+float QuantizedRowStore::score(std::size_t r,
+                               const QuantizedQuery& q) const {
+  assert(r < rows_ && q.codes.size() == dims_ &&
+         q.scales.size() == blocks_);
+  const std::int8_t* codes = codes_.data() + r * dims_;
+  const float* scales = scales_.data() + r * blocks_;
+  float acc = 0.0f;
+  for (std::size_t b = 0; b < blocks_; ++b) {
+    const std::size_t off = b * block_dims_;
+    const std::size_t len = std::min(block_dims_, dims_ - off);
+    const std::int32_t d =
+        simd::dot_i8(codes + off, q.codes.data() + off, len);
+    acc += static_cast<float>(d) * scales[b] * q.scales[b];
+  }
+  return acc;
+}
+
+void QuantizedRowStore::dequantize_row(std::size_t r,
+                                       std::span<float> out) const {
+  assert(r < rows_ && out.size() == dims_);
+  const std::int8_t* codes = codes_.data() + r * dims_;
+  const float* scales = scales_.data() + r * blocks_;
+  for (std::size_t i = 0; i < dims_; ++i) {
+    out[i] = static_cast<float>(codes[i]) * scales[i / block_dims_];
+  }
+}
+
+}  // namespace seqge::serve

@@ -140,6 +140,14 @@ QueryEngine::QueryEngine(std::shared_ptr<const Snapshot> snapshot,
   normalized_ = snap_->embedding;
   l2_normalize_rows(normalized_);
   if (cfg_.kind == IndexConfig::Kind::kIvf) build_ivf();
+  if (cfg_.quant == QuantMode::kInt8) {
+    // IVF quantizes the packed (list-order) rows so a probed cell scans
+    // one contiguous code stripe; brute force quantizes node order.
+    const MatrixF& source =
+        cfg_.kind == IndexConfig::Kind::kIvf ? packed_rows_ : normalized_;
+    quant_ = QuantizedRowStore(source,
+                               {cfg_.quant_block, cfg_.quant_pow2});
+  }
 }
 
 void QueryEngine::build_ivf() {
@@ -188,6 +196,12 @@ std::vector<Neighbor> QueryEngine::topk(std::span<const float> query,
     q = unit;
   }
 
+  // Quantized scan is cosine-only; dot falls back to the float path.
+  if (cfg_.quant == QuantMode::kInt8 && sim == Similarity::kCosine &&
+      !quant_.empty()) {
+    return topk_quant(q, k, exclude, nprobe_override);
+  }
+
   // IVF search is cosine-ordered; dot falls back to the exact scan.
   if (cfg_.kind == IndexConfig::Kind::kIvf && sim == Similarity::kCosine &&
       !ivf_.empty()) {
@@ -219,6 +233,71 @@ std::vector<Neighbor> QueryEngine::topk(std::span<const float> query,
     }
   }
   return scan_topk(q, k, sim, exclude, {});
+}
+
+std::vector<Neighbor> QueryEngine::topk_quant(
+    std::span<const float> unit_q, std::size_t k, NodeId exclude,
+    std::size_t nprobe_override) const {
+  const auto qq = QuantizedRowStore::quantize_query(unit_q, quant_.config());
+  const std::size_t rerank = std::max<std::size_t>(cfg_.quant_rerank, 1);
+  const std::size_t cand_k = k * rerank;
+
+  // Stage 1: int8 approximate scan -> cand_k candidates. With IVF the
+  // store indexes packed (list-order) rows, so candidates carry packed
+  // positions; brute force candidates carry node ids directly.
+  const bool use_ivf = cfg_.kind == IndexConfig::Kind::kIvf && !ivf_.empty();
+  TopKAccumulator approx(cand_k);
+  if (use_ivf) {
+    const std::size_t nlist = ivf_.nlist();
+    const std::size_t nprobe = std::min(
+        nlist, nprobe_override != 0 ? nprobe_override : cfg_.nprobe);
+    std::vector<Neighbor> cells;
+    {
+      TopKAccumulator cell_top(nprobe);
+      for (std::size_t c = 0; c < nlist; ++c) {
+        cell_top.offer(static_cast<NodeId>(c),
+                       dot<float>(ivf_.centroids.row(c), unit_q));
+      }
+      cells = cell_top.take();
+    }
+    for (const Neighbor& cell : cells) {
+      quant_.scan_range(
+          ivf_.list_off[cell.node], ivf_.list_off[cell.node + 1], qq,
+          [&](std::size_t i, float s) {
+            if (ivf_.list_nodes[i] == exclude) return;
+            approx.offer(static_cast<NodeId>(i), s);
+          });
+    }
+  } else {
+    quant_.scan(qq, [&](std::size_t r, float s) {
+      if (r == exclude) return;
+      approx.offer(static_cast<NodeId>(r), s);
+    });
+  }
+
+  // Stage 2: float re-rank of the candidates. Map packed positions back
+  // to node ids and offer in ascending node order so score ties resolve
+  // exactly like the float scan's.
+  struct Cand {
+    NodeId node;
+    std::uint32_t packed;
+  };
+  std::vector<Cand> cands;
+  const auto approx_hits = approx.take();
+  cands.reserve(approx_hits.size());
+  for (const Neighbor& h : approx_hits) {
+    const auto p = static_cast<std::uint32_t>(h.node);
+    cands.push_back({use_ivf ? ivf_.list_nodes[p] : h.node, p});
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.node < b.node; });
+  TopKAccumulator top(k);
+  for (const Cand& c : cands) {
+    const auto row =
+        use_ivf ? packed_rows_.row(c.packed) : normalized_.row(c.packed);
+    top.offer(c.node, dot<float>(row, unit_q));
+  }
+  return top.take();
 }
 
 std::vector<Neighbor> QueryEngine::topk(NodeId u, std::size_t k,

@@ -27,6 +27,12 @@ class ShardedQueryEngine::Shard {
     if (cfg.kind == IndexConfig::Kind::kIvf && snap_->num_rows() > 0) {
       ivf_.build(normalized_, cfg);
     }
+    if (cfg.quant == QuantMode::kInt8 && snap_->num_rows() > 0) {
+      // Shards quantize local node order (no packed re-order: shard IVF
+      // lists index normalized_ directly).
+      quant_ = QuantizedRowStore(normalized_,
+                                 {cfg.quant_block, cfg.quant_pow2});
+    }
   }
 
   /// Incremental refresh: start from `prev`'s state and re-normalize
@@ -42,7 +48,8 @@ class ShardedQueryEngine::Shard {
         float threshold, ShardedRefreshStats& stats)
       : snap_(std::move(snap)),
         normalized_(prev.normalized_),
-        ivf_(prev.ivf_) {
+        ivf_(prev.ivf_),
+        quant_(prev.quant_) {
     std::vector<float> fresh(snap_->dims);
     bool lists_dirty = false;
     for (std::uint32_t r : snap_->changed_since_base) {
@@ -51,6 +58,7 @@ class ShardedQueryEngine::Shard {
       l2_normalize(fresh);
       auto dst = normalized_.row(r);
       std::copy(fresh.begin(), fresh.end(), dst.begin());
+      if (!quant_.empty()) quant_.requantize_row(r, dst);
       ++stats.rows_updated;
       if (!ivf_.empty()) {
         const float affinity =
@@ -133,10 +141,58 @@ class ShardedQueryEngine::Shard {
     }
   }
 
+  /// Normalized row for the float re-rank of the quantized path.
+  [[nodiscard]] std::span<const float> normalized_row(
+      std::size_t local) const {
+    return normalized_.row(local);
+  }
+
+  /// Int8 approximate exact scan: every row scored against the
+  /// quantized query, offering global node ids in local row order.
+  void scan_exact_quant(const QuantizedRowStore::QuantizedQuery& qq,
+                        NodeId exclude_global,
+                        TopKAccumulator& top) const {
+    const NodeId begin = snap_->row_begin;
+    quant_.scan(qq, [&](std::size_t r, float s) {
+      const NodeId node = begin + static_cast<NodeId>(r);
+      if (node == exclude_global) return;
+      top.offer(node, s);
+    });
+  }
+
+  /// Int8 approximate IVF scan: cells ranked with the float centroids,
+  /// probed rows scored against the quantized query. Falls back to the
+  /// quantized exact scan when the shard has no index.
+  void scan_ivf_quant(std::span<const float> unit_q,
+                      const QuantizedRowStore::QuantizedQuery& qq,
+                      std::size_t nprobe, NodeId exclude_global,
+                      TopKAccumulator& top) const {
+    if (ivf_.empty() || nprobe >= ivf_.nlist()) {
+      scan_exact_quant(qq, exclude_global, top);
+      return;
+    }
+    TopKAccumulator cell_top(nprobe);
+    for (std::size_t c = 0; c < ivf_.nlist(); ++c) {
+      cell_top.offer(static_cast<NodeId>(c),
+                     dot<float>(ivf_.centroids.row(c), unit_q));
+    }
+    const NodeId begin = snap_->row_begin;
+    for (const Neighbor& cell : cell_top.take()) {
+      for (std::uint32_t i = ivf_.list_off[cell.node];
+           i < ivf_.list_off[cell.node + 1]; ++i) {
+        const std::uint32_t r = ivf_.list_nodes[i];
+        const NodeId node = begin + static_cast<NodeId>(r);
+        if (node == exclude_global) continue;
+        top.offer(node, quant_.score(r, qq));
+      }
+    }
+  }
+
  private:
   std::shared_ptr<const ShardSnapshot> snap_;
   MatrixF normalized_;
   IvfIndex ivf_;
+  QuantizedRowStore quant_;  ///< empty unless IndexConfig::quant == kInt8
 };
 
 ShardedQueryEngine::ShardedQueryEngine(const ShardedEmbeddingStore& store,
@@ -175,6 +231,18 @@ ShardedQueryEngine::ShardedQueryEngine(const ShardedEmbeddingStore& store,
       ++stats_.shards_rebuilt;
     }
   }
+
+  if (cfg_.scan_threads > 1) {
+    // Reuse the previous engine's pool across incremental rebuilds so
+    // worker threads survive the engine swap (both engines may serve
+    // queries briefly; parallel_for serializes their batches).
+    if (previous != nullptr && previous->pool_ != nullptr &&
+        previous->pool_->workers() == cfg_.scan_threads - 1) {
+      pool_ = previous->pool_;
+    } else {
+      pool_ = std::make_shared<ThreadPool>(cfg_.scan_threads - 1);
+    }
+  }
 }
 
 ShardedQueryEngine::~ShardedQueryEngine() = default;
@@ -203,18 +271,73 @@ std::vector<Neighbor> ShardedQueryEngine::topk(
     q = unit;
   }
 
-  TopKAccumulator top(k);
   const bool use_ivf =
       cfg_.index.kind == IndexConfig::Kind::kIvf &&
       sim == Similarity::kCosine;
+  const bool use_quant =
+      cfg_.index.quant == QuantMode::kInt8 && sim == Similarity::kCosine;
   const std::size_t nprobe =
       nprobe_override != 0 ? nprobe_override : cfg_.index.nprobe;
-  for (const auto& shard : shards_) {
-    if (use_ivf) {
-      shard->scan_ivf(q, nprobe, exclude, top);
+
+  // Quantized scans collect k * rerank approximate candidates for the
+  // float re-rank below; float scans accumulate the final k directly.
+  const std::size_t acc_k =
+      use_quant ? k * std::max<std::size_t>(cfg_.index.quant_rerank, 1)
+                : k;
+  QuantizedRowStore::QuantizedQuery qq;
+  if (use_quant) {
+    qq = QuantizedRowStore::quantize_query(
+        q, {cfg_.index.quant_block, cfg_.index.quant_pow2});
+  }
+  const auto scan_shard = [&](const Shard& shard, TopKAccumulator& top) {
+    if (use_quant) {
+      if (use_ivf) {
+        shard.scan_ivf_quant(q, qq, nprobe, exclude, top);
+      } else {
+        shard.scan_exact_quant(qq, exclude, top);
+      }
+    } else if (use_ivf) {
+      shard.scan_ivf(q, nprobe, exclude, top);
     } else {
-      shard->scan_exact(q, sim, exclude, top);
+      shard.scan_exact(q, sim, exclude, top);
     }
+  };
+
+  TopKAccumulator merged(acc_k);
+  if (pool_ != nullptr && shards_.size() > 1) {
+    // Fan out: each shard fills its own accumulator, then the per-shard
+    // winners merge in shard order. Shards cover ascending node ranges
+    // and take() sorts ties by ascending node, so equal-score arrivals
+    // reach `merged` in ascending node order — exactly the sequential
+    // scan's arrival order, hence bit-identical results.
+    std::vector<std::vector<Neighbor>> locals(shards_.size());
+    pool_->parallel_for(shards_.size(), [&](std::size_t s) {
+      TopKAccumulator local(acc_k);
+      scan_shard(*shards_[s], local);
+      locals[s] = local.take();
+    });
+    for (const auto& local : locals) {
+      for (const Neighbor& n : local) merged.offer(n.node, n.score);
+    }
+  } else {
+    for (const auto& shard : shards_) scan_shard(*shard, merged);
+  }
+  if (!use_quant) return merged.take();
+
+  // Float re-rank of the quantized candidates, offered in ascending
+  // node order so score ties resolve exactly like the float scan's.
+  auto cands = merged.take();
+  std::sort(cands.begin(), cands.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.node < b.node;
+            });
+  TopKAccumulator top(k);
+  for (const Neighbor& c : cands) {
+    const std::size_t s = layout_.shard_of(c.node);
+    top.offer(c.node,
+              dot<float>(shards_[s]->normalized_row(
+                             c.node - shards_[s]->row_begin()),
+                         q));
   }
   return top.take();
 }

@@ -45,6 +45,7 @@
 
 #include "serve/query_engine.hpp"
 #include "serve/sharded_store.hpp"
+#include "util/thread_pool.hpp"
 
 namespace seqge::serve {
 
@@ -59,6 +60,14 @@ struct ShardedIndexConfig {
   /// cumulative sub-threshold drift still triggers. 0 re-scans every
   /// changed row.
   float reassign_threshold = 0.05f;
+  /// Threads applied to each query's per-shard fan-out (the calling
+  /// thread counts, so N uses N-1 pool workers). 0 or 1 scans shards
+  /// sequentially inline — the exact pre-fan-out code path. The exact
+  /// path stays bit-identical either way: each shard accumulates its
+  /// own top-k and the per-shard winners merge in shard order, which
+  /// preserves the ascending-node arrival order score ties depend on
+  /// (tests gate this against the N=1 engine).
+  std::size_t scan_threads = 0;
 };
 
 /// How each shard was brought up to date by the last construction.
@@ -125,6 +134,10 @@ class ShardedQueryEngine final : public SearchEngine {
   ShardLayout layout_;  ///< copied from the store: one mapping truth
   std::vector<std::shared_ptr<const Shard>> shards_;
   ShardedRefreshStats stats_;
+  /// Fan-out pool (null when cfg_.scan_threads <= 1); shared with the
+  /// previous engine across incremental rebuilds so worker threads
+  /// survive engine swaps.
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace seqge::serve

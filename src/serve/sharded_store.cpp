@@ -167,7 +167,18 @@ std::uint64_t ShardedEmbeddingStore::publish_delta(
                        local.end(), std::back_inserter(merged));
 
         std::shared_ptr<ShardSnapshot> snap;
+        // Cost-scheduled compaction: repack only once the appended
+        // delta volume amortizes the O(shard) copy; the overlay and
+        // chain tests are backstops (index-refresh cost and memory).
+        const std::uint64_t appended =
+            old_snap->delta_rows_since_base + local.size();
+        const bool cost_amortized =
+            cfg_.compact_cost_factor > 0.0 &&
+            static_cast<double>(appended) >=
+                cfg_.compact_cost_factor *
+                    static_cast<double>(old_snap->num_rows());
         const bool overflow =
+            cost_amortized ||
             old_snap->delta_chain() + 1 > cfg_.max_delta_chain ||
             static_cast<double>(merged.size()) >
                 cfg_.max_overlay_fraction *
@@ -187,6 +198,7 @@ std::uint64_t ShardedEmbeddingStore::publish_delta(
           snap->buffers = old_snap->buffers;
           snap->buffers.push_back(delta);
           snap->changed_since_base = std::move(merged);
+          snap->delta_rows_since_base = appended;
         }
         heads_[s].store(std::move(snap), std::memory_order_release);
         shards_swapped_.fetch_add(1, std::memory_order_relaxed);

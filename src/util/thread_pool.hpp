@@ -1,0 +1,136 @@
+#pragma once
+// Minimal blocking fork-join pool for query-time fan-out
+// (serve/sharded_query.hpp). Not a task scheduler: the only operation
+// is parallel_for(count, fn), which runs fn(0..count-1) across the
+// workers *and the calling thread*, then returns when every index has
+// finished. Batches are serialized — a second caller blocks until the
+// first batch drains — which keeps the state machine trivial and is
+// fine for the intended use (one pool per engine, short scans).
+//
+// A pool of `workers` threads therefore applies `workers + 1` threads
+// to each batch. Exceptions from fn are captured and the first one is
+// rethrown on the calling thread after the batch completes.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seqge {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (0 is valid: parallel_for then runs
+  /// entirely on the calling thread).
+  explicit ThreadPool(std::size_t workers) {
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  [[nodiscard]] std::size_t workers() const noexcept {
+    return threads_.size();
+  }
+
+  /// Runs fn(i) for every i in [0, count), caller participating;
+  /// returns when all are done. Rethrows the first captured exception.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    if (threads_.empty() || count == 1) {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    std::lock_guard<std::mutex> serial(serial_mu_);
+    auto batch = std::make_shared<Batch>();
+    batch->count = count;
+    batch->fn = &fn;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      current_ = batch;
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+    run_batch(*batch);
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return batch->done == batch->count; });
+    current_.reset();
+    if (batch->error != nullptr) std::rethrow_exception(batch->error);
+  }
+
+ private:
+  // One parallel_for invocation. `count`/`fn` are immutable after the
+  // batch is published (publication happens under mu_, workers pick the
+  // pointer up under mu_); `next` hands out indices; `done`/`error` are
+  // guarded by mu_. Workers hold the batch via shared_ptr, so a thread
+  // that wakes late only ever sees an exhausted `next` — it never
+  // touches a newer batch's state by accident.
+  struct Batch {
+    std::size_t count = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::size_t done = 0;
+    std::exception_ptr error = nullptr;
+  };
+
+  void run_batch(Batch& b) {
+    for (;;) {
+      const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= b.count) return;
+      std::exception_ptr err = nullptr;
+      try {
+        (*b.fn)(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk(mu_);
+      if (err != nullptr && b.error == nullptr) b.error = err;
+      if (++b.done == b.count) done_cv_.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        wake_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        batch = current_;
+      }
+      if (batch != nullptr) run_batch(*batch);
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex serial_mu_;  ///< serializes parallel_for callers
+  std::mutex mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Batch> current_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace seqge

@@ -156,8 +156,10 @@ TEST(ShardedEmbeddingStore, DeltaPublishSwapsOnlyTouchedShards) {
 }
 
 TEST(ShardedEmbeddingStore, RowsCopiedCountsBasePlusExactlyTouched) {
+  // Every compaction trigger disabled (cost factor 0) so the
+  // accounting below is exact.
   ShardedEmbeddingStore store(
-      ShardedEmbeddingStore::Config{4, 1u << 20, 1.0});
+      ShardedEmbeddingStore::Config{4, 1u << 20, 1.0, 0.0});
   store.publish(random_matrix(100, 4, 3));
   EXPECT_EQ(store.rows_copied(), 100u);
 
@@ -247,9 +249,10 @@ TEST(ShardedDeltaPublishing, SequentialPublishCopiesAtMostTouchedRows) {
   cfg.walk.window = 4;
   cfg.negative_samples = 5;
 
-  // Compaction disabled so the accounting below is exact.
+  // Compaction disabled (chain, overlay, and cost triggers) so the
+  // accounting below is exact.
   auto store = std::make_shared<ShardedEmbeddingStore>(
-      ShardedEmbeddingStore::Config{8, 1u << 20, 1.0});
+      ShardedEmbeddingStore::Config{8, 1u << 20, 1.0, 0.0});
   Rng rng(cfg.seed);
   auto model = make_backend("oselm", graph.num_nodes(), cfg, rng);
 
@@ -390,6 +393,100 @@ TEST(ShardedQueryEngine, ExactFanOutIsBitIdenticalToSingleStore) {
       EXPECT_DOUBLE_EQ(sharded.score(3, 77, kind),
                        reference.score(3, 77, kind));
     }
+  }
+}
+
+TEST(ShardedQueryEngine, ThreadedFanOutIsBitIdenticalToSequential) {
+  const MatrixF m = random_matrix(600, 16, 27);
+  ShardedEmbeddingStore store(5);
+  store.publish(MatrixF(m));
+
+  const ShardedQueryEngine sequential(store);
+  ShardedIndexConfig threaded_cfg;
+  threaded_cfg.scan_threads = 3;
+  const ShardedQueryEngine threaded(store, threaded_cfg);
+
+  for (const Similarity sim : {Similarity::kCosine, Similarity::kDot}) {
+    for (NodeId u : {NodeId{0}, NodeId{150}, NodeId{311}, NodeId{599}}) {
+      const auto expect = sequential.topk(u, 12, sim);
+      const auto got = threaded.topk(u, 12, sim);
+      ASSERT_EQ(got.size(), expect.size());
+      for (std::size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(got[i].node, expect[i].node);
+        EXPECT_EQ(got[i].score, expect[i].score);  // bit-identical
+      }
+    }
+  }
+}
+
+TEST(ShardedQueryEngine, ThreadedFanOutBreaksScoreTiesLikeSequential) {
+  // Tie-heavy matrix: every row is one of 4 distinct vectors, so the
+  // top-k cutoff lands inside a large equal-score group and the result
+  // is decided purely by tie-breaking (ascending node id). The
+  // per-shard merge must reproduce the sequential scan's choices even
+  // when ties straddle shard boundaries.
+  MatrixF m(240, 8);
+  const MatrixF basis = random_matrix(4, 8, 31);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    auto src = basis.row(r % 4);
+    std::copy(src.begin(), src.end(), m.row(r).begin());
+  }
+
+  EmbeddingStore single;
+  single.publish(MatrixF(m));
+  const QueryEngine reference(single.current());
+
+  ShardedEmbeddingStore store(7);
+  store.publish(MatrixF(m));
+  ShardedIndexConfig cfg;
+  cfg.scan_threads = 4;
+  const ShardedQueryEngine threaded(store, cfg);
+
+  for (NodeId u : {NodeId{0}, NodeId{5}, NodeId{77}, NodeId{239}}) {
+    const auto expect = reference.topk(u, 10, Similarity::kCosine);
+    const auto got = threaded.topk(u, 10, Similarity::kCosine);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(got[i].node, expect[i].node);
+      EXPECT_EQ(got[i].score, expect[i].score);
+    }
+  }
+}
+
+TEST(ShardedEmbeddingStore, CompactionIsScheduledByDeltaCostNotChainDepth) {
+  // 100 rows over 4 shards (25 rows each), 2 touched rows per shard per
+  // publish. The old eager chain trigger would compact every shard on
+  // nearly every publish past the chain bound; the cost trigger compacts
+  // a shard only once >= compact_cost_factor x 25 delta rows have
+  // accumulated since its base — about once every ceil(25 / 2) == 13
+  // publishes per shard.
+  ShardedEmbeddingStore store(ShardedEmbeddingStore::Config{4});
+  store.publish(random_matrix(100, 4, 41));
+
+  const std::size_t kPublishes = 50;
+  for (std::size_t k = 0; k < kPublishes; ++k) {
+    // The same 2 rows per shard every time: the overlay stays at 8% of
+    // the shard (no overlay backstop), so compaction cadence is decided
+    // purely by the appended-delta cost model.
+    std::vector<NodeId> touched;
+    for (std::size_t s = 0; s < 4; ++s) {
+      const NodeId begin = static_cast<NodeId>(25 * s);
+      touched.push_back(begin);
+      touched.push_back(begin + 1);
+    }
+    store.publish_delta(touched, delta_rows(touched.size(), 4,
+                                            static_cast<float>(k)));
+  }
+  // 2 appended rows per publish crosses the 25-row amortization bound
+  // every 13th publish: 3 compactions per shard over 50 publishes (12
+  // total), not one per publish as the old chain trigger produced.
+  EXPECT_LE(store.compactions(), 16u);
+  EXPECT_GE(store.compactions(), 4u);
+
+  // Each compaction rebases its shard, so every delta chain stays far
+  // below the publish count.
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_LE(store.shard(s)->delta_chain(), 13u);
   }
 }
 

@@ -1,0 +1,369 @@
+// SIMD dispatch layer + int8 quantized store tests.
+//
+// The float equivalence tests compare the dispatched kernels against
+// the scalar reference (simd::scalar::) on whatever ISA this build
+// selects: exhaustive over lengths that exercise every vector-width
+// remainder, over unaligned starting offsets, and over NaN/denormal
+// payloads. Vector accumulation reorders float sums, so float checks
+// use tight relative tolerances — except where the contract is exact:
+// dot_batch and dot_topk_scan must match per-row dot() calls
+// bit-identically on the same ISA, and the int8 kernels are integer
+// arithmetic, bit-exact across every implementation.
+//
+// The quantized-store tests pin the quantization contract: round-trip
+// error bounded by scale/2 per element, ~4x size, deterministic scans,
+// and recall@10 >= 0.95 for the int8 QueryEngine path vs. the exact
+// float engine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "linalg/simd.hpp"
+#include "serve/embedding_store.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/quantized_store.hpp"
+#include "util/rng.hpp"
+
+namespace seqge {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, Rng& rng, double lo = -1.0,
+                              double hi = 1.0) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(lo, hi));
+  return v;
+}
+
+// Lengths covering every remainder of the widest vector step (8 for
+// AVX2 floats, 16 for int8) plus zero and large-ish sizes.
+const std::size_t kLengths[] = {0,  1,  2,  3,  4,  5,  7,  8,  9,  15,
+                                16, 17, 23, 31, 32, 33, 63, 64, 100, 257};
+
+TEST(SimdDispatch, ReportsAConsistentIsa) {
+  const simd::Isa isa = simd::active_isa();
+  EXPECT_EQ(isa, simd::active_isa());  // fixed for process lifetime
+  const std::string name = simd::isa_name();
+  EXPECT_TRUE(name == "scalar" || name == "avx2" || name == "neon");
+#ifdef SEQGE_DISABLE_SIMD
+  EXPECT_EQ(isa, simd::Isa::kScalar);
+#endif
+}
+
+TEST(SimdFloat, DotMatchesScalarAcrossLengthsAndOffsets) {
+  Rng rng(1);
+  for (std::size_t n : kLengths) {
+    for (std::size_t off : {0u, 1u, 3u}) {
+      const auto x = random_vec(n + off, rng);
+      const auto y = random_vec(n + off, rng);
+      const float got = simd::dot(x.data() + off, y.data() + off, n);
+      const float ref = simd::scalar::dot(x.data() + off, y.data() + off, n);
+      // Vector lanes reorder the sum; error stays within a few ulps of
+      // the term magnitudes.
+      EXPECT_NEAR(got, ref, 1e-4f * (static_cast<float>(n) + 1.0f))
+          << "n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST(SimdFloat, AxpyAndScaleMatchScalarExactly) {
+  // axpy/scale are elementwise — no cross-lane reassociation — so the
+  // only float difference FMA contraction could introduce is in
+  // a * x[i] + y[i]. GCC contracts both paths identically for the
+  // scalar tail; accept 1-ulp differences on the vector body.
+  Rng rng(2);
+  for (std::size_t n : kLengths) {
+    const auto x = random_vec(n, rng);
+    const float a = static_cast<float>(rng.uniform(-2.0, 2.0));
+
+    auto y_got = random_vec(n, rng);
+    auto y_ref = y_got;
+    simd::axpy(a, x.data(), y_got.data(), n);
+    simd::scalar::axpy(a, x.data(), y_ref.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(y_got[i], y_ref[i], 1e-6f) << "axpy n=" << n << " i=" << i;
+    }
+
+    auto s_got = x;
+    auto s_ref = x;
+    simd::scale(a, s_got.data(), n);
+    simd::scalar::scale(a, s_ref.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // A pure multiply rounds once on every path: bit-identical.
+      EXPECT_EQ(s_got[i], s_ref[i]) << "scale n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdFloat, L2NormKeepsDoublePrecisionAccumulation) {
+  Rng rng(3);
+  for (std::size_t n : kLengths) {
+    const auto x = random_vec(n, rng);
+    const double got = simd::l2_norm(x.data(), n);
+    const double ref = simd::scalar::l2_norm(x.data(), n);
+    // Every ISA widens lanes to double before accumulating, so the only
+    // difference is double-sum ordering: near-ulp agreement.
+    EXPECT_NEAR(got, ref, 1e-12 * (ref + 1.0)) << "n=" << n;
+  }
+}
+
+TEST(SimdFloat, DotBatchIsBitIdenticalToPerRowDot) {
+  // The canonical per-row accumulation order contract: whatever
+  // cross-row blocking dot_batch uses, each row's score must equal a
+  // 1-row dot() call bit-for-bit. Cover every remainder of the 4-row
+  // blocking and odd dims.
+  Rng rng(4);
+  for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 13u, 130u}) {
+    for (std::size_t dims : {1u, 7u, 8u, 17u, 96u}) {
+      const auto rows = random_vec(n * dims, rng);
+      const auto q = random_vec(dims, rng);
+      std::vector<float> scores(n, 0.0f);
+      simd::dot_batch(rows.data(), n, dims, q.data(), scores.data());
+      for (std::size_t r = 0; r < n; ++r) {
+        EXPECT_EQ(scores[r], simd::dot(rows.data() + r * dims, q.data(), dims))
+            << "n=" << n << " dims=" << dims << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(SimdFloat, DotTopkScanOffersEveryRowWithBatchScores) {
+  Rng rng(5);
+  const std::size_t n = 300;  // crosses the 128-row scan block twice
+  const std::size_t dims = 17;
+  const auto rows = random_vec(n * dims, rng);
+  const auto q = random_vec(dims, rng);
+  std::vector<float> expect(n, 0.0f);
+  simd::dot_batch(rows.data(), n, dims, q.data(), expect.data());
+
+  std::size_t offered = 0;
+  simd::dot_topk_scan(rows.data(), n, dims, q.data(),
+                      [&](std::size_t r, float s) {
+                        EXPECT_EQ(r, offered);  // row order
+                        EXPECT_EQ(s, expect[r]);
+                        ++offered;
+                      });
+  EXPECT_EQ(offered, n);
+}
+
+TEST(SimdFloat, PropagatesNanAndHandlesDenormals) {
+  // NaN anywhere in the active range must surface in the dot result on
+  // every ISA (vector min/max tricks can silently drop NaN; plain
+  // FMA accumulation must not).
+  for (std::size_t n : {1u, 8u, 9u, 33u}) {
+    for (std::size_t pos : {std::size_t{0}, n - 1}) {
+      std::vector<float> x(n, 1.0f);
+      std::vector<float> y(n, 2.0f);
+      x[pos] = std::numeric_limits<float>::quiet_NaN();
+      EXPECT_TRUE(std::isnan(simd::dot(x.data(), y.data(), n)))
+          << "n=" << n << " pos=" << pos;
+    }
+  }
+
+  // Denormal inputs: products flush toward zero identically in scalar
+  // and vector paths under the default FP environment.
+  const float denorm = std::numeric_limits<float>::denorm_min();
+  std::vector<float> x(16, denorm);
+  std::vector<float> y(16, 2.0f);
+  const float got = simd::dot(x.data(), y.data(), 16);
+  const float ref = simd::scalar::dot(x.data(), y.data(), 16);
+  EXPECT_EQ(got, ref);
+}
+
+TEST(SimdInt8, DotIsBitExactAgainstScalarEverywhere) {
+  Rng rng(6);
+  for (std::size_t n : kLengths) {
+    for (std::size_t off : {0u, 1u, 5u}) {
+      std::vector<std::int8_t> x(n + off);
+      std::vector<std::int8_t> y(n + off);
+      for (auto& v : x) {
+        v = static_cast<std::int8_t>(
+            static_cast<int>(rng.bounded(255)) - 127);
+      }
+      for (auto& v : y) {
+        v = static_cast<std::int8_t>(
+            static_cast<int>(rng.bounded(255)) - 127);
+      }
+      EXPECT_EQ(simd::dot_i8(x.data() + off, y.data() + off, n),
+                simd::scalar::dot_i8(x.data() + off, y.data() + off, n))
+          << "n=" << n << " off=" << off;
+    }
+  }
+
+  // Saturation-adjacent extremes: +-127 everywhere, odd length.
+  std::vector<std::int8_t> lo(33, -127);
+  std::vector<std::int8_t> hi(33, 127);
+  EXPECT_EQ(simd::dot_i8(lo.data(), hi.data(), 33), -127 * 127 * 33);
+}
+
+TEST(SimdInt8, BatchMatchesPerRowDot) {
+  Rng rng(7);
+  const std::size_t n = 37;
+  const std::size_t dims = 19;
+  std::vector<std::int8_t> rows(n * dims);
+  std::vector<std::int8_t> q(dims);
+  for (auto& v : rows) {
+    v = static_cast<std::int8_t>(static_cast<int>(rng.bounded(255)) - 127);
+  }
+  for (auto& v : q) {
+    v = static_cast<std::int8_t>(static_cast<int>(rng.bounded(255)) - 127);
+  }
+  std::vector<std::int32_t> out(n, 0);
+  simd::dot_i8_batch(rows.data(), n, dims, q.data(), out.data());
+  for (std::size_t r = 0; r < n; ++r) {
+    EXPECT_EQ(out[r], simd::dot_i8(rows.data() + r * dims, q.data(), dims));
+  }
+}
+
+// --- quantized store --------------------------------------------------------
+
+using serve::QuantConfig;
+using serve::QuantizedRowStore;
+
+MatrixF random_rows(std::size_t n, std::size_t dims, std::uint64_t seed) {
+  MatrixF m(n, dims);
+  Rng rng(seed);
+  m.fill_uniform(rng, -1.0, 1.0);
+  return m;
+}
+
+TEST(QuantizedRowStore, RoundTripErrorIsBoundedByHalfScale) {
+  for (const QuantConfig cfg :
+       {QuantConfig{0, false}, QuantConfig{16, false}, QuantConfig{0, true},
+        QuantConfig{16, true}}) {
+    const MatrixF rows = random_rows(50, 48, 11);
+    const QuantizedRowStore store(rows, cfg);
+    std::vector<float> back(48);
+    for (std::size_t r = 0; r < rows.rows(); ++r) {
+      store.dequantize_row(r, back);
+      float max_abs = 0.0f;
+      for (float v : rows.row(r)) max_abs = std::max(max_abs, std::abs(v));
+      // Per-row scale bound; per-block scales are only tighter. pow2
+      // rounding at most doubles the scale.
+      float bound = max_abs / 127.0f / 2.0f;
+      if (cfg.pow2_scales) bound *= 2.0f;
+      bound += 1e-7f;
+      for (std::size_t i = 0; i < rows.cols(); ++i) {
+        EXPECT_LE(std::abs(back[i] - rows.row(r)[i]), bound)
+            << "block=" << cfg.block << " pow2=" << cfg.pow2_scales
+            << " r=" << r << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(QuantizedRowStore, AllZeroRowsQuantizeToZero) {
+  MatrixF rows(4, 8);
+  rows.fill(0.0f);
+  const QuantizedRowStore store(rows, {});
+  std::vector<float> back(8, 1.0f);
+  store.dequantize_row(2, back);
+  for (float v : back) EXPECT_EQ(v, 0.0f);
+
+  const auto qq = QuantizedRowStore::quantize_query(
+      std::vector<float>(8, 0.5f), {});
+  EXPECT_EQ(store.score(2, qq), 0.0f);
+}
+
+TEST(QuantizedRowStore, IsRoughlyFourTimesSmallerThanFloat) {
+  const std::size_t n = 200;
+  const std::size_t dims = 64;
+  const QuantizedRowStore store(random_rows(n, dims, 13), {});
+  const std::size_t float_bytes = n * dims * sizeof(float);
+  EXPECT_LT(store.bytes(), float_bytes / 3);  // codes + 1 scale per row
+}
+
+TEST(QuantizedRowStore, ScanMatchesPerRowScoresExactly) {
+  // The fused scan and score() must agree bit-for-bit: both route the
+  // integer dot through the same dispatched kernel and apply the same
+  // float scaling. Check per-row and per-block layouts.
+  for (const std::size_t block : {std::size_t{0}, std::size_t{16}}) {
+    const MatrixF rows = random_rows(300, 48, 17);
+    const QuantConfig cfg{block, false};
+    const QuantizedRowStore store(rows, cfg);
+    Rng rng(19);
+    std::vector<float> q(48);
+    for (auto& v : q) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const auto qq = QuantizedRowStore::quantize_query(q, cfg);
+
+    std::size_t offered = 0;
+    store.scan(qq, [&](std::size_t r, float s) {
+      EXPECT_EQ(r, offered);
+      EXPECT_EQ(s, store.score(r, qq));
+      ++offered;
+    });
+    EXPECT_EQ(offered, store.num_rows());
+  }
+}
+
+TEST(QuantizedRowStore, ApproximateScoresTrackFloatDots) {
+  // Unit rows vs unit query: the int8 approximation must stay within ~2%
+  // absolute of the float dot (the margin the re-rank stage absorbs).
+  MatrixF rows = random_rows(100, 32, 23);
+  serve::l2_normalize_rows(rows);
+  const QuantizedRowStore store(rows, {});
+  Rng rng(29);
+  std::vector<float> q(32);
+  for (auto& v : q) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  serve::l2_normalize(q);
+  const auto qq = QuantizedRowStore::quantize_query(q, {});
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    const float exact = simd::dot(rows.row(r).data(), q.data(), 32);
+    EXPECT_NEAR(store.score(r, qq), exact, 0.02f) << "r=" << r;
+  }
+}
+
+TEST(QuantizedQueryEngine, HoldsRecallAgainstExactFloatScan) {
+  using namespace serve;
+  const std::size_t n = 2000;
+  const std::size_t dims = 32;
+  const std::size_t k = 10;
+  auto store = std::make_shared<EmbeddingStore>();
+  store->publish(random_rows(n, dims, 37));
+
+  const QueryEngine exact(store->current());
+
+  for (const auto kind :
+       {IndexConfig::Kind::kBruteForce, IndexConfig::Kind::kIvf}) {
+    IndexConfig cfg;
+    cfg.kind = kind;
+    cfg.nprobe = 12;
+    cfg.quant = QuantMode::kInt8;
+    cfg.quant_rerank = 4;
+    const QueryEngine quant(store->current(), cfg);
+
+    // IVF prunes cells on top of quantization; compare against the
+    // float engine of the same kind so the recall measured is the
+    // quantization loss alone.
+    const QueryEngine float_same_kind(
+        store->current(), IndexConfig{kind, 0, 12});
+
+    double recall_sum = 0.0;
+    const NodeId probes[] = {1, 42, 500, 999, 1500, 1999};
+    for (NodeId u : probes) {
+      const auto expect = float_same_kind.topk(u, k);
+      const auto got = quant.topk(u, k);
+      recall_sum += recall_at_k(expect, got);
+    }
+    EXPECT_GE(recall_sum / 6.0, 0.95) << "kind=" << static_cast<int>(kind);
+  }
+
+  // Dot similarity bypasses quantization (cosine-only contract): the
+  // results must be bit-identical to the exact engine's.
+  IndexConfig bf_quant;
+  bf_quant.quant = QuantMode::kInt8;
+  const QueryEngine quant_bf(store->current(), bf_quant);
+  const auto expect = exact.topk(7, k, Similarity::kDot);
+  const auto got = quant_bf.topk(7, k, Similarity::kDot);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(got[i].node, expect[i].node);
+    EXPECT_EQ(got[i].score, expect[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace seqge
