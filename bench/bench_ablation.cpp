@@ -14,10 +14,12 @@ using namespace seqge::bench;
 int main(int argc, char** argv) {
   double scale = 0.4;
   std::int64_t dims = 32, trials = 3;
+  std::string metrics_out;
   ArgParser args("bench_ablation", "design-choice ablations");
   args.add_double("scale", &scale, "cora twin scale");
   args.add_int("dims", &dims, "embedding dimensions");
   args.add_int("trials", &trials, "evaluation trials");
+  add_metrics_flag(args, &metrics_out);
   if (!args.parse(argc, argv)) return 1;
 
   print_header("Ablations",
@@ -115,5 +117,6 @@ int main(int argc, char** argv) {
     std::printf("[numerics]\n");
     table.print();
   }
+  if (!dump_metrics(metrics_out)) return 1;
   return 0;
 }

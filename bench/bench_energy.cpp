@@ -15,8 +15,10 @@ using namespace seqge::bench;
 using namespace seqge::fpga;
 
 int main(int argc, char** argv) {
+  std::string metrics_out;
   ArgParser args("bench_energy",
                  "extension — energy per trained walk across platforms");
+  add_metrics_flag(args, &metrics_out);
   if (!args.parse(argc, argv)) return 1;
 
   print_header("Energy (extension)",
@@ -60,5 +62,6 @@ int main(int argc, char** argv) {
       "\nreading: the FPGA's speedup compounds with its low power — per\n"
       "walk it is orders of magnitude more energy-efficient than the A53\n"
       "running the original model, and still ahead of the desktop CPU.\n");
+  if (!dump_metrics(metrics_out)) return 1;
   return 0;
 }

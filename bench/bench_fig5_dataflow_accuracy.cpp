@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   double cora_scale = 0.5, ampt_scale = 0.08, amcp_scale = 0.05;
   std::int64_t dims = 32, trials = 3;
   bool full = false;
+  std::string metrics_out;
   ArgParser args("bench_fig5_dataflow_accuracy",
                  "Figure 5 — dataflow optimization accuracy impact");
   args.add_double("cora-scale", &cora_scale, "cora twin scale");
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   args.add_int("dims", &dims, "embedding dimensions");
   args.add_int("trials", &trials, "evaluation trials to average");
   args.add_flag("full", &full, "paper-scale datasets (slow)");
+  add_metrics_flag(args, &metrics_out);
   if (!args.parse(argc, argv)) return 1;
   if (full) cora_scale = ampt_scale = amcp_scale = 1.0;
 
@@ -53,5 +55,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper: accuracy decreases by up to 1.09%% on cora; no degradation "
       "on the larger graphs.\n");
+  if (!dump_metrics(metrics_out)) return 1;
   return 0;
 }

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   std::string dims_csv = "32";
   std::int64_t trials = 3;
   bool full = false;
+  std::string metrics_out;
   ArgParser args("bench_fig6_sequential_accuracy",
                  "Figure 6 — sequential-training accuracy (micro-F1)");
   args.add_double("cora-scale", &cora_scale, "cora twin scale");
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
   args.add_string("dims", &dims_csv, "comma-separated dims (paper: 32,64,96)");
   args.add_int("trials", &trials, "evaluation trials to average");
   args.add_flag("full", &full, "paper-scale datasets (very slow)");
+  add_metrics_flag(args, &metrics_out);
   if (!args.parse(argc, argv)) return 1;
   if (full) {
     cora_scale = ampt_scale = amcp_scale = 1.0;
@@ -79,5 +81,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper shape: Original wins in 'all'; in 'seq' Original drops "
       "(catastrophic forgetting) while Proposed holds or improves.\n");
+  if (!dump_metrics(metrics_out)) return 1;
   return 0;
 }

@@ -14,12 +14,14 @@ int main(int argc, char** argv) {
   double scale = 0.5;
   std::int64_t dims = 32, trials = 3;
   bool full = false;
+  std::string metrics_out;
   ArgParser args("bench_fig7_scale_factor",
                  "Figure 7 — scale factor mu vs accuracy");
   args.add_double("scale", &scale, "cora twin scale");
   args.add_int("dims", &dims, "embedding dimensions (paper: 32)");
   args.add_int("trials", &trials, "evaluation trials to average");
   args.add_flag("full", &full, "paper-scale dataset");
+  add_metrics_flag(args, &metrics_out);
   if (!args.parse(argc, argv)) return 1;
   if (full) scale = 1.0;
 
@@ -52,5 +54,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper shape: useless at mu=0.001, high for mu in [0.005, 0.1], "
       "gradually decreasing beyond; alpha below the tied weights.\n");
+  if (!dump_metrics(metrics_out)) return 1;
   return 0;
 }

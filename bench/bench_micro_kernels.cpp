@@ -473,6 +473,8 @@ int main(int argc, char** argv) {
                   "write results to this path (BENCH_kernels.json)");
   args.add_choice("phase", &phase, {"all", "micro", "simd", "int8"},
                   "which phase(s) to run");
+  std::string metrics_out;
+  bench::add_metrics_flag(args, &metrics_out);
   if (!args.parse(argc, argv)) return 1;
 
   bench::print_header(
@@ -539,6 +541,8 @@ int main(int argc, char** argv) {
     root.set("gates", std::move(gates));
     if (!bench::write_json_file(json_path, root)) return 1;
   }
+
+  if (!bench::dump_metrics(metrics_out)) return 1;
 
   if (!all_pass) {
     std::printf("\nRESULT: GATE FAILURE\n");

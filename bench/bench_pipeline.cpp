@@ -5,11 +5,20 @@
 // that while reporting the speedup, so a reported win can never come
 // from silently training something different.
 //
+// Both runs publish through a ShardedEmbeddingStore sink (identical
+// observer cost on both sides, so the comparison is fair), and a short
+// fan-out k-NN scan runs against the piped store afterwards — so a
+// --metrics-out dump from this bench carries every pipeline-stage span
+// (walk_gen, queue_wait, train_batch, publish, scan_fanout).
+//
 //   ./bench/bench_pipeline [--model oselm] [--threads 4] [--nodes 2000]
+//       [--metrics-out metrics.json]
 
 #include "bench/common.hpp"
 #include "graph/generators.hpp"
 #include "linalg/kernels.hpp"
+#include "serve/sharded_query.hpp"
+#include "serve/sharded_store.hpp"
 
 #include <thread>
 
@@ -29,6 +38,8 @@ int main(int argc, char** argv) {
   args.add_int("walks-per-node", &walks, "random walks per node (r)");
   args.add_int("threads", &threads, "walker threads for the pipelined run");
   args.add_int("seed", &seed, "random seed");
+  std::string metrics_out;
+  add_metrics_flag(args, &metrics_out);
   if (!args.parse(argc, argv)) return 1;
 
   print_header("Pipeline",
@@ -57,14 +68,19 @@ int main(int argc, char** argv) {
     TrainStats stats;
     double seconds;
     MatrixF embedding;
+    std::shared_ptr<serve::ShardedEmbeddingStore> store;
   };
   auto run = [&](std::size_t walker_threads) {
     Rng rng(cfg.seed);
     auto m = make_backend(model, graph.num_nodes(), cfg, rng);
+    RunResult r;
+    // Publish through a sharded sink on both paths: identical observer
+    // cost, and the metrics dump then carries the publish-stage span.
+    r.store = std::make_shared<serve::ShardedEmbeddingStore>(4);
     PipelineConfig pipe;
     pipe.walker_threads = walker_threads;
+    pipe.snapshot_sink = r.store.get();
     WallTimer timer;
-    RunResult r;
     r.stats = train_all(*m, graph, cfg, rng, pipe);
     r.seconds = timer.seconds();
     r.embedding = m->extract_embedding();
@@ -90,5 +106,25 @@ int main(int argc, char** argv) {
               piped.stats.num_batches);
   std::printf("bit-identical embeddings: %s (max |delta| = %g)\n",
               diff == 0.0 ? "yes" : "NO", diff);
+
+  // Short fan-out scan over the piped run's store: exercises the
+  // serving-side scan_fanout span + per-shard latency histogram so the
+  // metrics dump covers the full train->publish->serve chain.
+  {
+    serve::ShardedIndexConfig qcfg;
+    qcfg.scan_threads = 2;
+    serve::ShardedQueryEngine engine(*piped.store, qcfg);
+    Rng qrng(static_cast<std::uint64_t>(seed) + 1);
+    std::size_t hits = 0;
+    for (int i = 0; i < 32; ++i) {
+      hits += engine
+                  .topk(static_cast<NodeId>(qrng.bounded(graph.num_nodes())),
+                        10)
+                  .size();
+    }
+    std::printf("fan-out scan: 32 queries, %zu neighbors returned\n", hits);
+  }
+
+  if (!dump_metrics(metrics_out)) return 1;
   return diff == 0.0 ? 0 : 1;
 }

@@ -32,11 +32,19 @@
 // against the float engine at the same nprobe, and (at full scale) on
 // it being faster.
 //
-// --json <path> writes every phase's metrics as BENCH_serving.json.
+// Phase 5 — observability overhead: the exact-engine scan workload
+// timed with the metrics registry enabled vs disabled (SEQGE_OBS
+// runtime switch). Gates (at full scale) on the enabled run costing
+// <= 2% over the disabled run, and (at every scale) on the disabled
+// run recording nothing — the scan counter must not move.
+//
+// --json <path> writes every phase's metrics as BENCH_serving.json;
+// --metrics-out <path> dumps the observability registry itself.
 //
 //   ./bench/bench_serving [--tiny] [--nodes 50000] [--model oselm]
 //       [--serve-threads 4] [--queries 10000] [--top-k 10] [--shards 32]
 //       [--quant int8|none] [--scan-threads N] [--json out.json]
+//       [--metrics-out metrics.json]
 
 #include <atomic>
 #include <cmath>
@@ -44,6 +52,7 @@
 
 #include "bench/common.hpp"
 #include "embedding/sparse_delta.hpp"
+#include "obs/metrics.hpp"
 #include "graph/generators.hpp"
 #include "linalg/kernels.hpp"
 #include "serve/embedding_server.hpp"
@@ -94,6 +103,8 @@ int main(int argc, char** argv) {
                   "run the float-vs-int8 phase (int8) or skip it (none)");
   args.add_string("json", &json_path,
                   "write results to this path (BENCH_serving.json)");
+  std::string metrics_out;
+  add_metrics_flag(args, &metrics_out);
   args.add_flag("tiny", &tiny, "CI smoke scale (overrides sizes)");
   args.add_int("seed", &seed, "random seed");
   if (!args.parse(argc, argv)) return 1;
@@ -541,6 +552,52 @@ int main(int argc, char** argv) {
     }
   }
 
+  // -------------------------- phase 5: observability overhead on scans
+  // The hot scan path pays one relaxed counter add per query; everything
+  // heavier (span clocks, re-rank accounting) is behind the runtime
+  // switch. Time the exact-engine workload with obs on and off to show
+  // the cost, and check the off run records nothing at all.
+  std::printf("\nobservability overhead on the exact scan path "
+              "(%zu queries, median of 5):\n", eval_queries);
+  const auto scan_workload = [&] {
+    for (std::size_t q = 0; q < eval_queries; ++q) {
+      exact.topk(query_nodes[q], top_k);
+    }
+  };
+  const double obs_on_ms = time_ms(scan_workload, 5);
+  const obs::Counter* scans_total =
+      obs::Registry::global().find_counter("seqge_query_scans_total");
+  obs::set_enabled(false);
+  const std::uint64_t scans_before =
+      scans_total != nullptr ? scans_total->value() : 0;
+  const double obs_off_ms = time_ms(scan_workload, 5);
+  const std::uint64_t scans_after =
+      scans_total != nullptr ? scans_total->value() : 0;
+  obs::set_enabled(true);
+  const double obs_overhead_pct =
+      obs_off_ms > 0.0 ? (obs_on_ms / obs_off_ms - 1.0) * 100.0 : 0.0;
+  // Disabled must mean silent: the counter the enabled run drives on
+  // every query may not move while the switch is off.
+  const bool obs_noop_ok =
+      scans_total != nullptr && scans_after == scans_before;
+  // Timing gate at full scale only — the --tiny workload finishes in
+  // microseconds, where a 2% bound is pure scheduler noise.
+  const bool obs_overhead_ok = tiny || obs_overhead_pct <= 2.0;
+  Table otable({"registry", "ms/workload", "us/query"});
+  otable.add_row({"enabled", Table::fmt(obs_on_ms, 3),
+                  Table::fmt(obs_on_ms * 1000.0 /
+                                 static_cast<double>(eval_queries), 2)});
+  otable.add_row({"disabled", Table::fmt(obs_off_ms, 3),
+                  Table::fmt(obs_off_ms * 1000.0 /
+                                 static_cast<double>(eval_queries), 2)});
+  otable.print();
+  std::printf("obs overhead: %+.2f%% (%s <= 2%%: %s); disabled run "
+              "recorded nothing: %s\n",
+              obs_overhead_pct,
+              tiny ? "ungated at --tiny scale, full-scale gate"
+                   : "gated",
+              obs_overhead_ok ? "yes" : "NO", obs_noop_ok ? "yes" : "NO");
+
   if (!json_path.empty()) {
     Json root = Json::object();
     root.set("bench", Json::str("serving"));
@@ -612,6 +669,12 @@ int main(int argc, char** argv) {
       root.set("quant_sweep", std::move(qarr));
     }
 
+    Json obs_json = Json::object();
+    obs_json.set("enabled_ms", Json::num(obs_on_ms));
+    obs_json.set("disabled_ms", Json::num(obs_off_ms));
+    obs_json.set("overhead_pct", Json::num(obs_overhead_pct));
+    root.set("obs_overhead", std::move(obs_json));
+
     Json gates = Json::object();
     gates.set("ivf_recall", Json::boolean(recall_ok));
     gates.set("ivf_faster_than_exact", Json::boolean(perf_ok));
@@ -621,9 +684,13 @@ int main(int argc, char** argv) {
     gates.set("compaction_fewer_rows", Json::boolean(compaction_ok));
     gates.set("quant_recall", Json::boolean(quant_recall_ok));
     gates.set("quant_faster", Json::boolean(quant_perf_ok));
+    gates.set("obs_overhead_2pct", Json::boolean(obs_overhead_ok));
+    gates.set("obs_disabled_noop", Json::boolean(obs_noop_ok));
     root.set("gates", std::move(gates));
     if (!write_json_file(json_path, root)) return 1;
   }
+
+  if (!dump_metrics(metrics_out)) return 1;
 
   // --tiny is the CI smoke: at 2000 nodes the brute-force scan is so
   // cheap that every timing comparison is scheduler noise, so only the
@@ -631,9 +698,10 @@ int main(int argc, char** argv) {
   // all.
   const bool ok = tiny
                       ? (recall_ok && identical && sharded_recall_ok &&
-                         compaction_ok && quant_recall_ok)
+                         compaction_ok && quant_recall_ok && obs_noop_ok)
                       : (recall_ok && perf_ok && identical &&
                          sharded_recall_ok && publish_ok && compaction_ok &&
-                         quant_recall_ok && quant_perf_ok);
+                         quant_recall_ok && quant_perf_ok &&
+                         obs_overhead_ok && obs_noop_ok);
   return ok ? 0 : 1;
 }

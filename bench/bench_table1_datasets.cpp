@@ -12,9 +12,11 @@ using namespace seqge::bench;
 int main(int argc, char** argv) {
   double scale = 1.0;
   std::int64_t seed = 1;
+  std::string metrics_out;
   ArgParser args("bench_table1_datasets", "Table 1 — dataset statistics");
   args.add_double("scale", &scale, "dataset scale factor (0, 1]");
   args.add_int("seed", &seed, "generator seed");
+  add_metrics_flag(args, &metrics_out);
   if (!args.parse(argc, argv)) return 1;
 
   print_header("Table 1", "Datasets used in evaluations (DC-SBM twins)");
@@ -37,5 +39,6 @@ int main(int argc, char** argv) {
                    std::to_string(s.num_components)});
   }
   table.print();
+  if (!dump_metrics(metrics_out)) return 1;
   return 0;
 }

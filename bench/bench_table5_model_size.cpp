@@ -13,7 +13,9 @@ using namespace seqge;
 using namespace seqge::bench;
 
 int main(int argc, char** argv) {
+  std::string metrics_out;
   ArgParser args("bench_table5_model_size", "Table 5 — model sizes (MB)");
+  add_metrics_flag(args, &metrics_out);
   if (!args.parse(argc, argv)) return 1;
 
   print_header("Table 5",
@@ -42,5 +44,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper headline: proposed model up to 3.82x smaller (amcp, "
       "dims 96: 20.303 MB -> 5.318 MB).\n");
+  if (!dump_metrics(metrics_out)) return 1;
   return 0;
 }

@@ -14,8 +14,10 @@ using seqge::fpga::ResourceModel;
 using seqge::fpga::ResourceUsage;
 
 int main(int argc, char** argv) {
+  std::string metrics_out;
   ArgParser args("bench_table6_resources",
                  "Table 6 — resource utilization on XCZU7EV");
+  add_metrics_flag(args, &metrics_out);
   if (!args.parse(argc, argv)) return 1;
 
   print_header("Table 6", "FPGA resource utilization (XCZU7EV, 200 MHz)");
@@ -53,5 +55,6 @@ int main(int argc, char** argv) {
     add_row(dims, par, "structural (what-if)", rm.structural_estimate(cfg));
   }
   table.print();
+  if (!dump_metrics(metrics_out)) return 1;
   return 0;
 }

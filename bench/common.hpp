@@ -21,11 +21,29 @@
 #include "graph/datasets.hpp"
 #include "graph/stats.hpp"
 #include "linalg/simd.hpp"
+#include "obs/export.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace seqge::bench {
+
+/// Register the shared --metrics-out option into `*path`. Pair with
+/// dump_metrics(*path) after the workload ran.
+inline void add_metrics_flag(ArgParser& parser, std::string* path) {
+  parser.add_string("metrics-out", path,
+                    "write a seqge-metrics-v1 JSON dump of every "
+                    "counter/gauge/histogram to this path");
+}
+
+/// Dump the global registry when --metrics-out was given. Returns
+/// false only on a failed write (empty path is success).
+inline bool dump_metrics(const std::string& path) {
+  if (path.empty()) return true;
+  const bool ok = obs::write_metrics_json(path);
+  if (ok) std::printf("wrote %s\n", path.c_str());
+  return ok;
+}
 
 /// Minimal ordered JSON value for the BENCH_*.json artifacts the
 /// benches emit under --json. Insertion order is preserved so the

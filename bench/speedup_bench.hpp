@@ -35,10 +35,12 @@ inline int run_speedup_bench(const std::string& artifact,
                              int argc, char** argv) {
   double scale = 1.0;
   std::int64_t reps = 9;
+  std::string metrics_out;
   ArgParser args("bench_speedup",
                  artifact + " — training time of a single random walk");
   args.add_double("scale", &scale, "dataset scale for the weight tables");
   args.add_int("reps", &reps, "timing repetitions (median reported)");
+  add_metrics_flag(args, &metrics_out);
   if (!args.parse(argc, argv)) return 1;
 
   print_header(artifact,
@@ -132,6 +134,7 @@ inline int run_speedup_bench(const std::string& artifact,
       "values differ while the ordering and growth with dims should "
       "match).\n",
       ref_orig.platform.c_str());
+  if (!dump_metrics(metrics_out)) return 1;
   return 0;
 }
 

@@ -21,6 +21,7 @@
 //   ./examples/embedding_server [--model fpga] [--nodes 300]
 //       [--top-k 5] [--serve-threads 2] [--snapshot-every 64]
 //       [--shards 4] [--quant int8|none] [--scan-threads 2]
+//       [--metrics-out metrics.json [--metrics-period-ms 1000]]
 
 #include <atomic>
 #include <cstdio>
@@ -29,6 +30,7 @@
 #include "embedding/backend_registry.hpp"
 #include "embedding/trainer.hpp"
 #include "graph/generators.hpp"
+#include "obs/export.hpp"
 #include "serve/embedding_server.hpp"
 #include "serve/embedding_store.hpp"
 #include "serve/sharded_store.hpp"
@@ -69,6 +71,13 @@ int main(int argc, char** argv) {
   args.add_size("scan-threads", &scan_threads,
                 "threads for the sharded fan-out scan (0 = sequential)");
   args.add_int("seed", &seed, "random seed");
+  std::string metrics_out;
+  std::size_t metrics_period_ms = 0;
+  args.add_string("metrics-out", &metrics_out,
+                  "write a seqge-metrics-v1 JSON dump to this path");
+  args.add_size("metrics-period-ms", &metrics_period_ms,
+                "also re-dump --metrics-out every this many ms while "
+                "serving (0 = final dump only)");
   if (!args.parse(argc, argv)) return 1;
 
   const Graph graph =
@@ -148,6 +157,15 @@ int main(int argc, char** argv) {
                     : std::make_unique<serve::EmbeddingServer>(sharded_store,
                                                                srv_cfg);
 
+  // Long-running servers keep the metrics file fresh on a cadence so
+  // the latest state survives a crash; the final dump at exit below
+  // covers the short default run.
+  std::unique_ptr<obs::PeriodicDumper> dumper;
+  if (!metrics_out.empty() && metrics_period_ms > 0) {
+    dumper = std::make_unique<obs::PeriodicDumper>(
+        metrics_out, std::chrono::milliseconds(metrics_period_ms));
+  }
+
   Table table({"query", "snapshot version", "walks trained",
                "top-" + std::to_string(top_k) + " of node 0",
                "latency (us)"});
@@ -216,6 +234,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(sharded_store->rows_copied()),
         full_equiv,
         static_cast<unsigned long long>(sharded_store->compactions()));
+  }
+  if (dumper != nullptr) dumper->stop();  // stop() writes a final dump
+  if (dumper == nullptr && !metrics_out.empty() &&
+      !obs::write_metrics_json(metrics_out)) {
+    return 1;
   }
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "fpga/resource_model.hpp"
 #include "graph/datasets.hpp"
 #include "perfmodel/cpu_model.hpp"
+#include "obs/export.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -33,6 +34,9 @@ int main(int argc, char** argv) {
   args.add_int("threads", &threads,
                "walker threads for the training pipeline (0 = inline)");
   args.add_int("seed", &seed, "random seed");
+  std::string metrics_out;
+  args.add_string("metrics-out", &metrics_out,
+                  "write a seqge-metrics-v1 JSON dump to this path");
   if (!args.parse(argc, argv)) return 1;
 
   const LabeledGraph data =
@@ -108,5 +112,8 @@ int main(int argc, char** argv) {
               usage.dsp_pct(dev), usage.ff, usage.ff_pct(dev), usage.lut,
               usage.lut_pct(dev),
               usage.fits(dev) ? "" : "  ** DOES NOT FIT **");
+  if (!metrics_out.empty() && !obs::write_metrics_json(metrics_out)) {
+    return 1;
+  }
   return 0;
 }

@@ -20,6 +20,7 @@
 #include "graph/datasets.hpp"
 #include "graph/dynamic_graph.hpp"
 #include "graph/spanning_forest.hpp"
+#include "obs/export.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "walk/corpus.hpp"
@@ -41,6 +42,9 @@ int main(int argc, char** argv) {
   args.add_int("dims", &dims, "embedding dimensions");
   args.add_int("checkpoints", &checkpoints, "number of accuracy checkpoints");
   args.add_int("seed", &seed, "random seed");
+  std::string metrics_out;
+  args.add_string("metrics-out", &metrics_out,
+                  "write a seqge-metrics-v1 JSON dump to this path");
   if (!args.parse(argc, argv)) return 1;
 
   const LabeledGraph data =
@@ -120,5 +124,8 @@ int main(int argc, char** argv) {
       "accelerator time.\n",
       per_walk_ms, 2 * per_walk_ms, inserted,
       2 * per_walk_ms * static_cast<double>(inserted) / 1000.0);
+  if (!metrics_out.empty() && !obs::write_metrics_json(metrics_out)) {
+    return 1;
+  }
   return 0;
 }

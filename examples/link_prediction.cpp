@@ -16,6 +16,7 @@
 #include "eval/link_prediction.hpp"
 #include "graph/datasets.hpp"
 #include "graph/dynamic_graph.hpp"
+#include "obs/export.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "walk/corpus.hpp"
@@ -42,6 +43,9 @@ int main(int argc, char** argv) {
   args.add_flag("update", &update,
                 "stream half of the held-out edges with sequential "
                 "training before the final evaluation");
+  std::string metrics_out;
+  args.add_string("metrics-out", &metrics_out,
+                  "write a seqge-metrics-v1 JSON dump to this path");
   if (!args.parse(argc, argv)) return 1;
 
   const LabeledGraph data =
@@ -111,5 +115,8 @@ int main(int argc, char** argv) {
             dyn.to_graph(), rest);
   }
   table.print();
+  if (!metrics_out.empty() && !obs::write_metrics_json(metrics_out)) {
+    return 1;
+  }
   return 0;
 }

@@ -3,7 +3,7 @@
 // regression -> micro/macro F1. This is the paper's Sec. 4.3 evaluation
 // protocol, exposed as a CLI.
 //
-//   ./examples/node_classification --dataset ampt --scale 0.1 \
+//   ./examples/node_classification --dataset ampt --scale 0.1
 //       --model oselm --dims 64 --trials 3 --threads 4
 
 #include <cstdio>
@@ -13,6 +13,7 @@
 #include "eval/node_classification.hpp"
 #include "graph/datasets.hpp"
 #include "graph/stats.hpp"
+#include "obs/export.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -38,6 +39,9 @@ int main(int argc, char** argv) {
   args.add_double("mu", &mu, "OS-ELM scale factor");
   args.add_double("p0", &p0, "OS-ELM initial P diagonal");
   args.add_int("seed", &seed, "random seed");
+  std::string metrics_out;
+  args.add_string("metrics-out", &metrics_out,
+                  "write a seqge-metrics-v1 JSON dump to this path");
   if (!args.parse(argc, argv)) return 1;
 
   const LabeledGraph data =
@@ -96,5 +100,8 @@ int main(int argc, char** argv) {
               micro_sum / static_cast<double>(trials));
   std::printf("model parameter footprint: %.3f MB\n",
               static_cast<double>(model->model_bytes()) / 1e6);
+  if (!metrics_out.empty() && !obs::write_metrics_json(metrics_out)) {
+    return 1;
+  }
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "fpga/accelerator.hpp"
 #include "graph/generators.hpp"
 #include "linalg/kernels.hpp"
+#include "obs/export.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -56,6 +57,9 @@ int main(int argc, char** argv) {
   args.add_int("threads", &threads,
                "walker threads for the training pipeline (0 = inline)");
   args.add_int("seed", &seed, "random seed");
+  std::string metrics_out;
+  args.add_string("metrics-out", &metrics_out,
+                  "write a seqge-metrics-v1 JSON dump to this path");
   if (!args.parse(argc, argv)) return 1;
 
   const LabeledGraph data = make_karate_club();
@@ -93,5 +97,8 @@ int main(int argc, char** argv) {
   std::printf("embedding-space neighbors (OS-ELM model):\n");
   print_neighbors(oselm_embedding, 0, 5);   // instructor
   print_neighbors(oselm_embedding, 33, 5);  // administrator
+  if (!metrics_out.empty() && !obs::write_metrics_json(metrics_out)) {
+    return 1;
+  }
   return 0;
 }

@@ -6,6 +6,7 @@
 #include "embedding/trainer.hpp"
 #include "eval/node_classification.hpp"
 #include "graph/datasets.hpp"
+#include "obs/export.hpp"
 #include "util/cli.hpp"
 
 using namespace seqge;
@@ -22,6 +23,9 @@ int main(int argc, char** argv) {
   args.add_int("r", &r, "walks per node");
   args.add_double("p0", &p0, "P init");
   args.add_double("mu", &mu, "mu");
+  std::string metrics_out;
+  args.add_string("metrics-out", &metrics_out,
+                  "write a seqge-metrics-v1 JSON dump to this path");
   if (!args.parse(argc, argv)) return 1;
 
   const LabeledGraph data =
@@ -40,8 +44,7 @@ int main(int argc, char** argv) {
                          data.num_classes, ClassificationConfig{}, 3, 1);
   };
 
-  for (const std::string& backend :
-       {"original-sgd", "oselm", "oselm-dataflow"}) {
+  for (const char* backend : {"original-sgd", "oselm", "oselm-dataflow"}) {
     {
       Rng rng(cfg.seed);
       auto m = make_backend(backend, data.graph.num_nodes(), cfg, rng);
@@ -58,6 +61,9 @@ int main(int argc, char** argv) {
       std::printf("%-14s seq  F1=%.3f\n", m->name().c_str(), score(*m));
       std::fflush(stdout);
     }
+  }
+  if (!metrics_out.empty() && !obs::write_metrics_json(metrics_out)) {
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Validate a --metrics-out dump (seqge-metrics-v1) and assert that
+# required metrics are present and non-trivial.
+#
+#   ./scripts/check_metrics_json.sh FILE [span=NAME|counter=NAME|
+#                                         gauge=NAME|histogram=NAME]...
+#
+# Checks always applied to FILE:
+#   * parses as JSON with "schema": "seqge-metrics-v1"
+#   * "metrics" is a list; every entry has name/type/labels and the
+#     per-type value fields (counter/gauge: value; histogram: count,
+#     sum, max, p50/p95/p99, bounds, buckets with len(bounds)+1)
+#
+# Each extra argument is a requirement:
+#   span=walk_gen        seqge_span_wall_us{span="walk_gen"} exists
+#                        with count > 0 (and its cpu twin exists)
+#   counter=NAME         counter NAME exists with value > 0
+#   gauge=NAME           gauge NAME exists (any value)
+#   histogram=NAME       histogram NAME exists with count > 0
+#
+# Exits non-zero listing every unmet requirement. Used by the CI
+# metrics job on the bench_serving / bench_pipeline / embedding_server
+# dumps.
+
+set -u
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: $0 FILE [span=NAME|counter=NAME|gauge=NAME|histogram=NAME]..." >&2
+  exit 2
+fi
+
+file="$1"
+shift
+
+if [ ! -f "$file" ]; then
+  echo "check_metrics_json: no such file: $file" >&2
+  exit 1
+fi
+
+python3 - "$file" "$@" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+reqs = sys.argv[2:]
+
+fail = []
+
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except (OSError, ValueError) as e:
+    print(f"check_metrics_json: {path}: not valid JSON: {e}",
+          file=sys.stderr)
+    sys.exit(1)
+
+if doc.get("schema") != "seqge-metrics-v1":
+    fail.append(f'schema is {doc.get("schema")!r}, want "seqge-metrics-v1"')
+
+metrics = doc.get("metrics")
+if not isinstance(metrics, list):
+    fail.append('"metrics" missing or not a list')
+    metrics = []
+
+for i, m in enumerate(metrics):
+    where = f"metrics[{i}]"
+    if not isinstance(m, dict):
+        fail.append(f"{where}: not an object")
+        continue
+    name = m.get("name")
+    where = f"metrics[{i}] ({name})"
+    if not isinstance(name, str) or not name:
+        fail.append(f"{where}: missing name")
+    mtype = m.get("type")
+    if mtype not in ("counter", "gauge", "histogram"):
+        fail.append(f"{where}: bad type {mtype!r}")
+        continue
+    if not isinstance(m.get("labels"), dict):
+        fail.append(f"{where}: missing labels object")
+    if mtype in ("counter", "gauge"):
+        if not isinstance(m.get("value"), int):
+            fail.append(f"{where}: {mtype} without integer value")
+    else:
+        for key in ("count", "sum", "max", "p50", "p95", "p99"):
+            if not isinstance(m.get(key), (int, float)):
+                fail.append(f"{where}: histogram missing {key}")
+        bounds = m.get("bounds")
+        buckets = m.get("buckets")
+        if not isinstance(bounds, list) or not isinstance(buckets, list):
+            fail.append(f"{where}: histogram missing bounds/buckets")
+        elif len(buckets) != len(bounds) + 1:
+            fail.append(f"{where}: {len(buckets)} buckets for "
+                        f"{len(bounds)} bounds (want bounds+1)")
+        elif isinstance(m.get("count"), int) and sum(buckets) != m["count"]:
+            fail.append(f"{where}: bucket sum {sum(buckets)} != count "
+                        f"{m['count']}")
+
+
+def find(name, mtype, labels=None):
+    for m in metrics:
+        if not isinstance(m, dict) or m.get("name") != name:
+            continue
+        if m.get("type") != mtype:
+            continue
+        if labels is not None and m.get("labels") != labels:
+            continue
+        return m
+    return None
+
+
+for req in reqs:
+    kind, _, name = req.partition("=")
+    if not name:
+        fail.append(f"malformed requirement {req!r}")
+    elif kind == "span":
+        wall = find("seqge_span_wall_us", "histogram", {"span": name})
+        cpu = find("seqge_span_cpu_us", "histogram", {"span": name})
+        if wall is None or cpu is None:
+            fail.append(f"span {name!r}: wall/cpu histograms missing")
+        elif not wall.get("count"):
+            fail.append(f"span {name!r}: recorded zero samples")
+    elif kind == "counter":
+        m = find(name, "counter")
+        if m is None:
+            fail.append(f"counter {name!r}: missing")
+        elif not m.get("value"):
+            fail.append(f"counter {name!r}: value is zero")
+    elif kind == "gauge":
+        if find(name, "gauge") is None:
+            fail.append(f"gauge {name!r}: missing")
+    elif kind == "histogram":
+        m = find(name, "histogram")
+        if m is None:
+            fail.append(f"histogram {name!r}: missing")
+        elif not m.get("count"):
+            fail.append(f"histogram {name!r}: recorded zero samples")
+    else:
+        fail.append(f"unknown requirement kind {kind!r} in {req!r}")
+
+if fail:
+    for f_ in fail:
+        print(f"check_metrics_json: {path}: {f_}", file=sys.stderr)
+    sys.exit(1)
+
+print(f"check_metrics_json: {path}: OK "
+      f"({len(metrics)} metrics, {len(reqs)} requirements)")
+PY

@@ -5,9 +5,12 @@
 #include <condition_variable>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "embedding/sparse_delta.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/bounded_queue.hpp"
 #include "walk/corpus.hpp"
 #include "walk/node2vec_walker.hpp"
@@ -16,6 +19,33 @@
 namespace seqge {
 
 namespace {
+
+/// Registry mirrors of the TrainStats fields, so one metrics dump
+/// covers training alongside the serving-side counters. TrainStats
+/// stays the per-run return value; these accumulate process-wide.
+struct TrainMetrics {
+  obs::Counter* walks;
+  obs::Counter* batches;
+  obs::Counter* contexts;
+  obs::Counter* sampler_rebuilds;
+  obs::Counter* snapshots_published;
+};
+
+TrainMetrics& train_metrics() {
+  static TrainMetrics m{
+      obs::Registry::global().counter("seqge_train_walks_total", {},
+                                      "Walks trained"),
+      obs::Registry::global().counter("seqge_train_batches_total", {},
+                                      "Walk batches trained"),
+      obs::Registry::global().counter("seqge_train_contexts_total", {},
+                                      "Context pairs trained"),
+      obs::Registry::global().counter("seqge_train_sampler_rebuilds_total", {},
+                                      "Negative-sampler rebuilds"),
+      obs::Registry::global().counter("seqge_train_snapshots_published_total",
+                                      {}, "Snapshot/delta publications"),
+  };
+  return m;
+}
 
 /// Routes cadence publications to the configured SnapshotSink, tracking
 /// the rows training may have touched since the last publication so the
@@ -56,6 +86,8 @@ class SnapshotDispatcher {
   /// way.
   void publish(const EmbeddingModel& model, const TrainStats& stats) {
     if (sink_ == nullptr) return;
+    OBS_SPAN("publish");
+    train_metrics().snapshots_published->add();
     if (full_required_) {
       sink_->on_snapshot(model, stats);
     } else {
@@ -142,14 +174,21 @@ void run_batched(EmbeddingModel& model, const BatchSource& src,
       batch.truncate(budget - stats.num_walks);
     }
     if (!batch.empty()) {
-      stats.last_loss =
-          model.train_batch(batch, src.window, src.sampler, src.ns, src.mode);
+      {
+        OBS_SPAN("train_batch");
+        stats.last_loss = model.train_batch(batch, src.window, src.sampler,
+                                            src.ns, src.mode);
+      }
       for (std::size_t i = 0; i < batch.num_walks(); ++i) {
         snapshots.note_walk(batch, i);
       }
       stats.num_walks += batch.num_walks();
       stats.num_contexts += batch.total_contexts(src.window);
       ++stats.num_batches;
+      TrainMetrics& tm = train_metrics();
+      tm.walks->add(batch.num_walks());
+      tm.contexts->add(batch.total_contexts(src.window));
+      tm.batches->add();
       // Snapshot cadence: on the consumer thread, at a batch boundary,
       // so the sink sees a fully committed model state.
       if (pipe.snapshot_sink != nullptr && pipe.snapshot_every != 0 &&
@@ -240,7 +279,12 @@ void run_batched(EmbeddingModel& model, const BatchSource& src,
   std::size_t next_to_train = 0;
   bool keep_going = true;
   while (keep_going && next_to_train < total_batches) {
-    auto item = queue.pop();
+    std::optional<WalkBatch> item;
+    {
+      // Consumer-side stall: how long training waits for producers.
+      OBS_SPAN("queue_wait");
+      item = queue.pop();
+    }
     if (!item) break;
     pending.emplace(item->index, std::move(*item));
     for (auto it = pending.find(next_to_train); it != pending.end();
@@ -270,8 +314,11 @@ TrainStats train_all(EmbeddingModel& model, const Graph& graph,
 
   // Stage 1 (PS): walk generation, fanned out over the walker threads.
   WallTimer timer;
-  WalkCorpus corpus = generate_corpus_pipelined(
-      graph, cfg.walk, cfg.walks_per_node, base_seed, pipe.walker_threads);
+  WalkCorpus corpus = [&] {
+    OBS_SPAN("walk_gen");
+    return generate_corpus_pipelined(graph, cfg.walk, cfg.walks_per_node,
+                                     base_seed, pipe.walker_threads);
+  }();
   stats.walk_seconds = timer.seconds();
 
   NegativeSampler sampler(corpus.frequency);
@@ -332,9 +379,11 @@ SequentialResult train_sequential(EmbeddingModel& model,
                                  ? cfg.initial_walks_per_node
                                  : cfg.train.walks_per_node;
   WallTimer timer;
-  WalkCorpus corpus =
-      generate_corpus_pipelined(dyn, cfg.train.walk, init_r, base_seed,
-                                cfg.pipeline.walker_threads);
+  WalkCorpus corpus = [&] {
+    OBS_SPAN("walk_gen");
+    return generate_corpus_pipelined(dyn, cfg.train.walk, init_r, base_seed,
+                                     cfg.pipeline.walker_threads);
+  }();
   stats.walk_seconds += timer.seconds();
 
   std::vector<std::uint64_t> frequency = corpus.frequency;
@@ -378,22 +427,31 @@ SequentialResult train_sequential(EmbeddingModel& model,
 
     batch.clear();
     timer.reset();
-    for (NodeId endpoint : {e.src, e.dst}) {
-      walker.walk_into(rng, endpoint, walk);
-      for (NodeId v : walk) ++frequency[v];
-      pack_walk(batch, walk, rng.next(), cfg.train.negative_mode,
-                cfg.train.negative_samples, sampler, neg_scratch);
-      ++stats.num_walks;
-      stats.num_contexts += num_contexts(walk.size(), window);
+    {
+      OBS_SPAN("walk_gen");
+      for (NodeId endpoint : {e.src, e.dst}) {
+        walker.walk_into(rng, endpoint, walk);
+        for (NodeId v : walk) ++frequency[v];
+        pack_walk(batch, walk, rng.next(), cfg.train.negative_mode,
+                  cfg.train.negative_samples, sampler, neg_scratch);
+        ++stats.num_walks;
+        stats.num_contexts += num_contexts(walk.size(), window);
+        train_metrics().walks->add();
+        train_metrics().contexts->add(num_contexts(walk.size(), window));
+      }
     }
     stats.walk_seconds += timer.seconds();
 
     timer.reset();
-    stats.last_loss =
-        model.train_batch(batch, window, sampler, cfg.train.negative_samples,
-                          cfg.train.negative_mode);
+    {
+      OBS_SPAN("train_batch");
+      stats.last_loss = model.train_batch(batch, window, sampler,
+                                          cfg.train.negative_samples,
+                                          cfg.train.negative_mode);
+    }
     stats.train_seconds += timer.seconds();
     ++stats.num_batches;
+    train_metrics().batches->add();
     for (std::size_t w = 0; w < batch.num_walks(); ++w) {
       snapshots.note_walk(batch, w);
     }
@@ -401,6 +459,7 @@ SequentialResult train_sequential(EmbeddingModel& model,
     if (++since_rebuild >= cfg.sampler_rebuild_interval) {
       sampler = NegativeSampler(frequency);
       ++stats.sampler_rebuilds;
+      train_metrics().sampler_rebuilds->add();
       since_rebuild = 0;
     }
 

@@ -1,0 +1,216 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace seqge::obs {
+
+namespace {
+
+/// Deterministic number formatting: integers render without a decimal
+/// point, everything else as shortest round-trippable decimal.
+std::string fmt_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string prom_labels(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out += "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+/// Labels plus one extra pair (for histogram le="...").
+std::string prom_labels_with(const Labels& labels, const std::string& key,
+                             const std::string& value) {
+  Labels all = labels;
+  all.emplace_back(key, value);
+  return prom_labels(all);
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "counter";
+}
+
+}  // namespace
+
+std::string render_prometheus(const Registry& reg) {
+  const std::vector<MetricSnapshot> metrics = reg.collect();
+  std::ostringstream out;
+  std::string last_name;
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name != last_name) {
+      if (!m.help.empty()) out << "# HELP " << m.name << ' ' << m.help << '\n';
+      out << "# TYPE " << m.name << ' ' << kind_name(m.kind) << '\n';
+      last_name = m.name;
+    }
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out << m.name << prom_labels(m.labels) << ' ' << m.counter_value
+            << '\n';
+        break;
+      case MetricKind::kGauge:
+        out << m.name << prom_labels(m.labels) << ' ' << m.gauge_value << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < m.hist.buckets.size(); ++b) {
+          cum += m.hist.buckets[b];
+          const std::string le =
+              b < m.bounds.size() ? fmt_number(m.bounds[b]) : "+Inf";
+          out << m.name << "_bucket" << prom_labels_with(m.labels, "le", le)
+              << ' ' << cum << '\n';
+        }
+        out << m.name << "_sum" << prom_labels(m.labels) << ' '
+            << fmt_number(m.hist.sum) << '\n';
+        out << m.name << "_count" << prom_labels(m.labels) << ' '
+            << m.hist.count << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string render_json(const Registry& reg) {
+  const std::vector<MetricSnapshot> metrics = reg.collect();
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"seqge-metrics-v1\",\n  \"metrics\": [";
+  bool first_metric = true;
+  for (const MetricSnapshot& m : metrics) {
+    out << (first_metric ? "\n" : ",\n");
+    first_metric = false;
+    out << "    {\"name\": \"" << json_escape(m.name) << "\", \"type\": \""
+        << kind_name(m.kind) << "\", \"labels\": {";
+    bool first_label = true;
+    for (const auto& [k, v] : m.labels) {
+      if (!first_label) out << ", ";
+      first_label = false;
+      out << '"' << json_escape(k) << "\": \"" << json_escape(v) << '"';
+    }
+    out << '}';
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out << ", \"value\": " << m.counter_value;
+        break;
+      case MetricKind::kGauge:
+        out << ", \"value\": " << m.gauge_value;
+        break;
+      case MetricKind::kHistogram: {
+        out << ", \"count\": " << m.hist.count
+            << ", \"sum\": " << fmt_number(m.hist.sum)
+            << ", \"max\": " << fmt_number(m.hist.max)
+            << ", \"p50\": " << fmt_number(m.p50)
+            << ", \"p95\": " << fmt_number(m.p95)
+            << ", \"p99\": " << fmt_number(m.p99) << ", \"bounds\": [";
+        for (std::size_t b = 0; b < m.bounds.size(); ++b) {
+          if (b != 0) out << ", ";
+          out << fmt_number(m.bounds[b]);
+        }
+        out << "], \"buckets\": [";
+        for (std::size_t b = 0; b < m.hist.buckets.size(); ++b) {
+          if (b != 0) out << ", ";
+          out << m.hist.buckets[b];
+        }
+        out << ']';
+        break;
+      }
+    }
+    out << '}';
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+bool write_metrics_json(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    SEQGE_LOG_ERROR << "metrics: cannot open " << path << " for writing";
+    return false;
+  }
+  f << render_json(Registry::global());
+  return static_cast<bool>(f);
+}
+
+PeriodicDumper::PeriodicDumper(std::string path,
+                               std::chrono::milliseconds period)
+    : path_(std::move(path)), period_(period) {
+  thread_ = std::thread([this] {
+    std::unique_lock lock(mu_);
+    while (!stopping_) {
+      if (cv_.wait_for(lock, period_, [this] { return stopping_; })) break;
+      lock.unlock();
+      write_metrics_json(path_);
+      lock.lock();
+    }
+  });
+}
+
+PeriodicDumper::~PeriodicDumper() { stop(); }
+
+void PeriodicDumper::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_ && !thread_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  write_metrics_json(path_);
+}
+
+}  // namespace seqge::obs

@@ -1,0 +1,63 @@
+#pragma once
+// Exporters for the metrics registry: Prometheus text exposition,
+// an ordered JSON dump ("seqge-metrics-v1" schema, the format every
+// bench/example writes for --metrics-out and scripts/check_metrics_json.sh
+// validates), and a background PeriodicDumper for long-running servers.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace seqge::obs {
+
+/// Prometheus text exposition format: # HELP / # TYPE once per metric
+/// name, histogram rendered as name_bucket{le="..."} cumulative series
+/// plus name_sum / name_count. Deterministic (registration order).
+[[nodiscard]] std::string render_prometheus(const Registry& reg);
+
+/// JSON dump, schema "seqge-metrics-v1":
+/// {
+///   "schema": "seqge-metrics-v1",
+///   "metrics": [
+///     {"name": ..., "type": "counter",   "labels": {...}, "value": N},
+///     {"name": ..., "type": "gauge",     "labels": {...}, "value": N},
+///     {"name": ..., "type": "histogram", "labels": {...},
+///      "count": N, "sum": X, "max": X, "p50": X, "p95": X, "p99": X,
+///      "bounds": [...], "buckets": [...]}   // buckets = bounds+1 (+Inf)
+///   ]
+/// }
+/// Registration-ordered; keys within an object are fixed-order, so the
+/// output is byte-stable for a given registry state (golden-testable).
+[[nodiscard]] std::string render_json(const Registry& reg);
+
+/// render_json(Registry::global()) to `path`. Returns false (and logs)
+/// when the file cannot be written.
+bool write_metrics_json(const std::string& path);
+
+/// Background thread dumping the global registry to `path` every
+/// `period`; used by long-running servers so the latest metrics
+/// survive a crash. Dumps once more on stop/destruction.
+class PeriodicDumper {
+ public:
+  PeriodicDumper(std::string path, std::chrono::milliseconds period);
+  ~PeriodicDumper();
+  PeriodicDumper(const PeriodicDumper&) = delete;
+  PeriodicDumper& operator=(const PeriodicDumper&) = delete;
+
+  /// Idempotent; joins the thread and writes a final dump.
+  void stop();
+
+ private:
+  std::string path_;
+  std::chrono::milliseconds period_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace seqge::obs

@@ -1,0 +1,286 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace seqge::obs {
+
+namespace {
+
+bool env_enabled() {
+  const char* v = std::getenv("SEQGE_OBS");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "OFF") == 0 || std::strcmp(v, "false") == 0 ||
+           std::strcmp(v, "FALSE") == 0);
+}
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{env_enabled()};
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::size_t stripe_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+  return idx;
+}
+
+}  // namespace detail
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t count) {
+  if (start <= 0.0 || factor <= 1.0 || count == 0) {
+    throw std::invalid_argument(
+        "exponential_buckets: need start > 0, factor > 1, count > 0");
+  }
+  std::vector<double> out;
+  out.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(b);
+    b *= factor;
+  }
+  return out;
+}
+
+const std::vector<double>& default_latency_buckets_us() {
+  static const std::vector<double> buckets =
+      exponential_buckets(1.0, 2.0, 26);
+  return buckets;
+}
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument(
+          "Histogram: bounds must be strictly ascending");
+    }
+  }
+  stripes_.reserve(detail::kStripes);
+  for (std::size_t s = 0; s < detail::kStripes; ++s) {
+    stripes_.push_back(std::make_unique<Stripe>(bounds_.size() + 1));
+  }
+}
+
+std::size_t Histogram::bucket_of(double v) const noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t c = 0;
+  for (const auto& s : stripes_) {
+    c += s->count.load(std::memory_order_relaxed);
+  }
+  return c;
+}
+
+double Histogram::sum() const noexcept {
+  double v = 0.0;
+  for (const auto& s : stripes_) v += s->sum.load(std::memory_order_relaxed);
+  return v;
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t c = count();
+  return c == 0 ? 0.0 : sum() / static_cast<double>(c);
+}
+
+double Histogram::max() const noexcept {
+  double m = 0.0;
+  for (const auto& s : stripes_) {
+    m = std::max(m, s->max.load(std::memory_order_relaxed));
+  }
+  return m;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(bounds_.size() + 1, 0);
+  for (const auto& s : stripes_) {
+    for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+      snap.buckets[b] += s->buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.count += s->count.load(std::memory_order_relaxed);
+    snap.sum += s->sum.load(std::memory_order_relaxed);
+    snap.max = std::max(snap.max, s->max.load(std::memory_order_relaxed));
+  }
+  return snap;
+}
+
+double Histogram::percentile(double q) const noexcept {
+  const HistogramSnapshot snap = snapshot();
+  if (snap.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(snap.count);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+    const std::uint64_t in_bucket = snap.buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= target) {
+      // Overflow bucket: the only upper bound we know is the observed
+      // max. Otherwise interpolate within [lower, upper].
+      if (b == bounds_.size()) return snap.max;
+      const double lower = b == 0 ? 0.0 : bounds_[b - 1];
+      const double upper = bounds_[b];
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      // Clamp to the observed max so a percentile interpolated inside
+      // the max's own bucket never exceeds it.
+      return std::min(snap.max,
+                      lower + (upper - lower) * std::clamp(frac, 0.0, 1.0));
+    }
+    cum += in_bucket;
+  }
+  return snap.max;
+}
+
+// --- Registry ---------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+std::string Registry::key_of(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key.push_back('\x1f');
+    key += k;
+    key.push_back('=');
+    key += v;
+  }
+  return key;
+}
+
+Registry::Entry* Registry::get_or_create(MetricKind kind,
+                                         const std::string& name,
+                                         Labels labels,
+                                         const std::string& help,
+                                         std::vector<double> bounds) {
+  const std::string key = key_of(name, labels);
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    Entry& e = entries_[it->second];
+    if (e.kind != kind) {
+      throw std::logic_error("obs::Registry: metric '" + name +
+                             "' re-registered under a different kind");
+    }
+    return &e;
+  }
+  Entry e;
+  e.kind = kind;
+  e.name = name;
+  e.labels = std::move(labels);
+  e.help = help;
+  switch (kind) {
+    case MetricKind::kCounter:
+      e.counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      e.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      e.histogram = std::make_unique<Histogram>(std::move(bounds));
+      break;
+  }
+  index_.emplace(key, entries_.size());
+  entries_.push_back(std::move(e));
+  return &entries_.back();
+}
+
+Counter* Registry::counter(const std::string& name, Labels labels,
+                           const std::string& help) {
+  return get_or_create(MetricKind::kCounter, name, std::move(labels), help,
+                       {})
+      ->counter.get();
+}
+
+Gauge* Registry::gauge(const std::string& name, Labels labels,
+                       const std::string& help) {
+  return get_or_create(MetricKind::kGauge, name, std::move(labels), help, {})
+      ->gauge.get();
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               std::vector<double> bounds, Labels labels,
+                               const std::string& help) {
+  return get_or_create(MetricKind::kHistogram, name, std::move(labels), help,
+                       std::move(bounds))
+      ->histogram.get();
+}
+
+const Counter* Registry::find_counter(const std::string& name,
+                                      const Labels& labels) const {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key_of(name, labels));
+  if (it == index_.end()) return nullptr;
+  const Entry& e = entries_[it->second];
+  return e.kind == MetricKind::kCounter ? e.counter.get() : nullptr;
+}
+
+const Histogram* Registry::find_histogram(const std::string& name,
+                                          const Labels& labels) const {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key_of(name, labels));
+  if (it == index_.end()) return nullptr;
+  const Entry& e = entries_[it->second];
+  return e.kind == MetricKind::kHistogram ? e.histogram.get() : nullptr;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<MetricSnapshot> Registry::collect() const {
+  std::lock_guard lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    MetricSnapshot m;
+    m.kind = e.kind;
+    m.name = e.name;
+    m.labels = e.labels;
+    m.help = e.help;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        m.counter_value = e.counter->value();
+        break;
+      case MetricKind::kGauge:
+        m.gauge_value = e.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        m.bounds = e.histogram->bounds();
+        m.hist = e.histogram->snapshot();
+        m.p50 = e.histogram->percentile(0.50);
+        m.p95 = e.histogram->percentile(0.95);
+        m.p99 = e.histogram->percentile(0.99);
+        break;
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace seqge::obs

@@ -1,0 +1,57 @@
+#include "obs/span.hpp"
+
+#include <ctime>
+
+namespace seqge::obs {
+
+namespace {
+thread_local int span_depth = 0;
+}  // namespace
+
+int current_span_depth() noexcept { return span_depth; }
+
+double thread_cpu_us() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e6 +
+         static_cast<double>(ts.tv_nsec) * 1e-3;
+}
+
+double wall_us() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e6 +
+         static_cast<double>(ts.tv_nsec) * 1e-3;
+}
+
+namespace detail {
+
+SpanSite::SpanSite(const char* name) {
+  Registry& reg = Registry::global();
+  const Labels labels{{"span", name}};
+  wall = reg.histogram("seqge_span_wall_us", default_latency_buckets_us(),
+                       labels, "Wall time per span scope (microseconds)");
+  cpu = reg.histogram("seqge_span_cpu_us", default_latency_buckets_us(),
+                      labels, "Thread CPU time per span scope (microseconds)");
+}
+
+}  // namespace detail
+
+SpanScope::SpanScope(detail::SpanSite& site) noexcept
+    : site_(enabled() ? &site : nullptr) {
+  if (site_ == nullptr) return;
+  ++span_depth;
+  cpu_start_ = thread_cpu_us();
+  wall_start_ = wall_us();
+}
+
+SpanScope::~SpanScope() {
+  if (site_ == nullptr) return;
+  const double wall_elapsed = wall_us() - wall_start_;
+  const double cpu_elapsed = thread_cpu_us() - cpu_start_;
+  --span_depth;
+  site_->wall->observe(wall_elapsed);
+  site_->cpu->observe(cpu_elapsed < 0.0 ? 0.0 : cpu_elapsed);
+}
+
+}  // namespace seqge::obs

@@ -1,0 +1,83 @@
+#pragma once
+// RAII span tracing feeding per-stage wall/CPU-time histograms.
+//
+//   void train_batch(...) {
+//     OBS_SPAN("train_batch");
+//     ...
+//   }
+//
+// Each OBS_SPAN site lazily registers two histograms in the global
+// registry — seqge_span_wall_us{span="<name>"} and
+// seqge_span_cpu_us{span="<name>"} — and caches the pointers in a
+// function-local static, so the steady-state cost per scope is two
+// clock reads on entry, two on exit, and two histogram observes. When
+// obs::enabled() is false the scope takes one branch and does nothing
+// (no clock reads, no allocation). Compiling with SEQGE_OBS_DISABLED
+// expands OBS_SPAN to nothing at all.
+//
+// Spans nest: a thread-local depth counter tracks the current nesting
+// level (current_span_depth()), which tests use to assert scopes
+// balance. Histograms are per-site, not per-(site, depth) — nested
+// time is attributed to both the inner and outer span, matching the
+// usual tracing convention.
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace seqge::obs {
+
+/// Current thread's live span nesting depth (0 outside any span).
+[[nodiscard]] int current_span_depth() noexcept;
+
+/// This thread's CPU time in microseconds (CLOCK_THREAD_CPUTIME_ID).
+[[nodiscard]] double thread_cpu_us() noexcept;
+
+/// Monotonic wall clock in microseconds.
+[[nodiscard]] double wall_us() noexcept;
+
+namespace detail {
+
+/// Per-OBS_SPAN-site cached histogram pair. Constructed on first pass
+/// through the scope (thread-safe via the static-local guarantee);
+/// `name` must be a string literal or otherwise outlive the site.
+struct SpanSite {
+  explicit SpanSite(const char* name);
+  Histogram* wall;  ///< seqge_span_wall_us{span=name}
+  Histogram* cpu;   ///< seqge_span_cpu_us{span=name}
+};
+
+}  // namespace detail
+
+/// RAII scope recording wall + thread-CPU time into a SpanSite's
+/// histograms. Use via OBS_SPAN, not directly.
+class SpanScope {
+ public:
+  explicit SpanScope(detail::SpanSite& site) noexcept;
+  ~SpanScope();
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  detail::SpanSite* site_;  ///< nullptr when obs was disabled at entry
+  double wall_start_ = 0.0;
+  double cpu_start_ = 0.0;
+};
+
+}  // namespace seqge::obs
+
+#ifdef SEQGE_OBS_DISABLED
+#define OBS_SPAN(name) \
+  do {                 \
+  } while (false)
+#else
+// Two-level concat so __LINE__ expands before pasting.
+#define SEQGE_OBS_CONCAT_INNER(a, b) a##b
+#define SEQGE_OBS_CONCAT(a, b) SEQGE_OBS_CONCAT_INNER(a, b)
+#define OBS_SPAN(name)                                                 \
+  static ::seqge::obs::detail::SpanSite SEQGE_OBS_CONCAT(obs_site_,    \
+                                                         __LINE__){name}; \
+  ::seqge::obs::SpanScope SEQGE_OBS_CONCAT(obs_scope_, __LINE__) {     \
+    SEQGE_OBS_CONCAT(obs_site_, __LINE__)                              \
+  }
+#endif

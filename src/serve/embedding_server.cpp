@@ -4,9 +4,40 @@
 #include <stdexcept>
 
 #include "serve/sharded_query.hpp"
-#include "util/stats.hpp"
 
 namespace seqge::serve {
+
+namespace {
+
+/// Process-wide serving metrics, shared by every server instance (the
+/// per-instance latency histogram backs LatencySummary separately).
+struct ServeMetrics {
+  obs::Counter* requests;
+  obs::Counter* rejected;
+  obs::Counter* rebuilds;
+  obs::Gauge* queue_depth;
+  obs::Histogram* request_us;
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics m{
+      obs::Registry::global().counter("seqge_serve_requests_total", {},
+                                      "Requests accepted into the queue"),
+      obs::Registry::global().counter(
+          "seqge_serve_rejected_total", {},
+          "Requests rejected (server draining)"),
+      obs::Registry::global().counter("seqge_serve_engine_rebuilds_total", {},
+                                      "Search-engine (re)builds"),
+      obs::Registry::global().gauge("seqge_serve_queue_depth", {},
+                                    "Requests queued, not yet answered"),
+      obs::Registry::global().histogram(
+          "seqge_serve_request_us", obs::default_latency_buckets_us(), {},
+          "Request latency, enqueue to response (microseconds)"),
+  };
+  return m;
+}
+
+}  // namespace
 
 EmbeddingServer::EmbeddingServer(std::shared_ptr<const EmbeddingStore> store,
                                  ServerConfig cfg)
@@ -22,13 +53,12 @@ EmbeddingServer::EmbeddingServer(
     : store_(std::move(store)),
       sharded_store_(std::move(sharded)),
       cfg_(cfg),
-      queue_(cfg.queue_capacity == 0 ? 1 : cfg.queue_capacity) {
+      queue_(cfg.queue_capacity == 0 ? 1 : cfg.queue_capacity),
+      latency_hist_(obs::default_latency_buckets_us()) {
   if (store_ == nullptr && sharded_store_ == nullptr) {
     throw std::invalid_argument("EmbeddingServer: null store");
   }
   if (cfg_.threads == 0) cfg_.threads = 1;
-  if (cfg_.latency_window == 0) cfg_.latency_window = 1 << 16;
-  latencies_us_.reserve(std::min<std::size_t>(cfg_.latency_window, 4096));
   workers_.reserve(cfg_.threads);
   for (std::size_t t = 0; t < cfg_.threads; ++t) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -52,8 +82,11 @@ std::future<TopKResult> EmbeddingServer::topk(NodeId u, std::size_t k) {
   req.enqueued = std::chrono::steady_clock::now();
   std::future<TopKResult> fut = req.topk_promise.get_future();
   if (!queue_.push(std::move(req))) {
+    serve_metrics().rejected->add();
     throw std::runtime_error("EmbeddingServer: draining, request rejected");
   }
+  serve_metrics().requests->add();
+  serve_metrics().queue_depth->add();
   return fut;
 }
 
@@ -67,8 +100,11 @@ std::future<ScoreResult> EmbeddingServer::score(NodeId u, NodeId v,
   req.enqueued = std::chrono::steady_clock::now();
   std::future<ScoreResult> fut = req.score_promise.get_future();
   if (!queue_.push(std::move(req))) {
+    serve_metrics().rejected->add();
     throw std::runtime_error("EmbeddingServer: draining, request rejected");
   }
+  serve_metrics().requests->add();
+  serve_metrics().queue_depth->add();
   return fut;
 }
 
@@ -114,6 +150,7 @@ std::shared_ptr<const SearchEngine> EmbeddingServer::engine() {
   }
   engine_.store(built, std::memory_order_release);
   rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  serve_metrics().rebuilds->add();
   return built;
 }
 
@@ -122,15 +159,8 @@ void EmbeddingServer::record(const Request& req) {
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - req.enqueued)
           .count();
-  {
-    std::lock_guard lock(stats_mutex_);
-    if (latencies_us_.size() < cfg_.latency_window) {
-      latencies_us_.push_back(us);
-    } else {
-      latencies_us_[latency_next_] = us;
-      latency_next_ = (latency_next_ + 1) % cfg_.latency_window;
-    }
-  }
+  latency_hist_.observe(us);
+  serve_metrics().request_us->observe(us);
   served_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -138,6 +168,7 @@ void EmbeddingServer::worker_loop() {
   for (;;) {
     auto item = queue_.pop();
     if (!item) break;  // closed and drained
+    serve_metrics().queue_depth->sub();
     Request& req = *item;
     try {
       const auto eng = engine();
@@ -177,19 +208,14 @@ std::uint64_t EmbeddingServer::engine_rebuilds() const {
 }
 
 LatencySummary EmbeddingServer::latency() const {
-  std::vector<double> xs;
-  {
-    std::lock_guard lock(stats_mutex_);
-    xs = latencies_us_;
-  }
   LatencySummary s;
   s.count = served_.load(std::memory_order_relaxed);
-  if (xs.empty()) return s;
-  s.mean_us = mean(xs);
-  s.max_us = max_of(xs);
-  s.p50_us = percentile(xs, 0.50);
-  s.p95_us = percentile(xs, 0.95);
-  s.p99_us = percentile(xs, 0.99);
+  if (latency_hist_.count() == 0) return s;
+  s.mean_us = latency_hist_.mean();
+  s.max_us = latency_hist_.max();
+  s.p50_us = latency_hist_.percentile(0.50);
+  s.p95_us = latency_hist_.percentile(0.95);
+  s.p99_us = latency_hist_.percentile(0.99);
   return s;
 }
 

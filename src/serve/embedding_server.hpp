@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/sharded_store.hpp"
 #include "util/bounded_queue.hpp"
@@ -60,8 +61,9 @@ struct ServerConfig {
   /// Sharded stores only: threads per query for the per-shard fan-out
   /// (ShardedIndexConfig::scan_threads; 0/1 = sequential scan).
   std::size_t scan_threads = 0;
-  /// Latency samples retained for the percentile summary (most recent
-  /// wins; 0 = keep the default window).
+  /// Unused since the latency ring was replaced by an obs::Histogram
+  /// (fixed-size regardless of request count); kept so existing
+  /// call sites keep compiling.
   std::size_t latency_window = 1 << 16;
 };
 
@@ -76,9 +78,11 @@ struct ScoreResult {
 };
 
 /// Latency summary, microseconds. `count` covers every answered
-/// request; the percentiles/mean/max are computed over a bounded
-/// ring of the most recent requests (ServerConfig::latency_window) so
-/// a long-running server's stats memory stays constant.
+/// request; mean/percentiles/max come from a per-server obs::Histogram
+/// over all requests (constant memory however long the server runs;
+/// percentile accuracy is bounded by the histogram's factor-2 bucket
+/// widths). Subject to the obs kill switch: with SEQGE_OBS=0 only
+/// `count` is populated.
 struct LatencySummary {
   std::size_t count = 0;
   double mean_us = 0.0;
@@ -164,11 +168,10 @@ class EmbeddingServer {
   std::mutex rebuild_mutex_;
   std::atomic<std::uint64_t> rebuilds_{0};
 
-  // Bounded ring of the most recent latency samples (stats stay O(1)
-  // in memory however long the server runs); guarded by stats_mutex_.
-  mutable std::mutex stats_mutex_;
-  std::vector<double> latencies_us_;
-  std::size_t latency_next_ = 0;
+  // Per-server latency histogram behind LatencySummary (multiple
+  // servers in one process must not share samples); every observation
+  // is mirrored into the global seqge_serve_request_us histogram.
+  obs::Histogram latency_hist_;
   std::atomic<std::uint64_t> served_{0};
 
   std::vector<std::thread> workers_;

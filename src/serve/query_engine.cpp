@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "linalg/kernels.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace seqge::serve {
@@ -181,6 +182,35 @@ std::vector<Neighbor> QueryEngine::scan_topk(
   return top.take();
 }
 
+namespace {
+
+/// Hot-path counters: one relaxed add each, no clocks or spans — the
+/// scan path's obs overhead is gated at <= 2% in bench_serving.
+struct QueryMetrics {
+  obs::Counter* scans;
+  obs::Counter* ivf_probes;
+  obs::Counter* quant_candidates;
+  obs::Counter* quant_corrections;
+};
+
+QueryMetrics& query_metrics() {
+  static QueryMetrics m{
+      obs::Registry::global().counter("seqge_query_scans_total", {},
+                                      "Top-k scans executed"),
+      obs::Registry::global().counter("seqge_query_ivf_probes_total", {},
+                                      "IVF cells probed"),
+      obs::Registry::global().counter(
+          "seqge_query_quant_candidates_total", {},
+          "int8 candidates float-re-ranked"),
+      obs::Registry::global().counter(
+          "seqge_query_quant_corrections_total", {},
+          "Final top-k entries the int8 order missed (re-rank saves)"),
+  };
+  return m;
+}
+
+}  // namespace
+
 std::vector<Neighbor> QueryEngine::topk(std::span<const float> query,
                                         std::size_t k, Similarity sim,
                                         NodeId exclude,
@@ -188,6 +218,7 @@ std::vector<Neighbor> QueryEngine::topk(std::span<const float> query,
   if (query.size() != snap_->dims()) {
     throw std::invalid_argument("QueryEngine::topk: query dims mismatch");
   }
+  query_metrics().scans->add();
   std::vector<float> unit;
   std::span<const float> q = query;
   if (sim == Similarity::kCosine) {
@@ -209,6 +240,7 @@ std::vector<Neighbor> QueryEngine::topk(std::span<const float> query,
     const std::size_t nprobe = std::min(
         nlist, nprobe_override != 0 ? nprobe_override : cfg_.nprobe);
     if (nprobe < nlist) {
+      query_metrics().ivf_probes->add(nprobe);
       // Rank cells by centroid similarity, then scan the nprobe best —
       // each a contiguous stripe of packed_rows_.
       std::vector<Neighbor> cells;
@@ -251,6 +283,7 @@ std::vector<Neighbor> QueryEngine::topk_quant(
     const std::size_t nlist = ivf_.nlist();
     const std::size_t nprobe = std::min(
         nlist, nprobe_override != 0 ? nprobe_override : cfg_.nprobe);
+    query_metrics().ivf_probes->add(nprobe);
     std::vector<Neighbor> cells;
     {
       TopKAccumulator cell_top(nprobe);
@@ -297,7 +330,28 @@ std::vector<Neighbor> QueryEngine::topk_quant(
         use_ivf ? packed_rows_.row(c.packed) : normalized_.row(c.packed);
     top.offer(c.node, dot<float>(row, unit_q));
   }
-  return top.take();
+  std::vector<Neighbor> final_hits = top.take();
+  if (obs::enabled()) {
+    query_metrics().quant_candidates->add(cands.size());
+    // Re-rank hit rate: how many of the final top-k the int8 order
+    // alone would have missed (i.e. not already in its first k).
+    std::uint64_t corrections = 0;
+    const std::size_t head = std::min(k, approx_hits.size());
+    for (const Neighbor& f : final_hits) {
+      bool in_head = false;
+      for (std::size_t i = 0; i < head; ++i) {
+        const auto p = static_cast<std::uint32_t>(approx_hits[i].node);
+        const NodeId node = use_ivf ? ivf_.list_nodes[p] : approx_hits[i].node;
+        if (node == f.node) {
+          in_head = true;
+          break;
+        }
+      }
+      if (!in_head) ++corrections;
+    }
+    query_metrics().quant_corrections->add(corrections);
+  }
+  return final_hits;
 }
 
 std::vector<Neighbor> QueryEngine::topk(NodeId u, std::size_t k,

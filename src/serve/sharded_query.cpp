@@ -4,8 +4,23 @@
 #include <stdexcept>
 
 #include "linalg/kernels.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace seqge::serve {
+
+namespace {
+
+/// Per-shard scan latency across the fan-out (observed from pool
+/// threads; the histogram's sharded stripes keep that contention-free).
+obs::Histogram* shard_scan_us() {
+  static obs::Histogram* const h = obs::Registry::global().histogram(
+      "seqge_query_shard_scan_us", obs::default_latency_buckets_us(), {},
+      "One shard's scan within a fan-out (microseconds)");
+  return h;
+}
+
+}  // namespace
 
 // One shard's query-side state: the shard snapshot (kept alive for raw
 // row access), its rows L2-normalized into a contiguous matrix, and —
@@ -263,6 +278,9 @@ std::vector<Neighbor> ShardedQueryEngine::topk(
     throw std::invalid_argument(
         "ShardedQueryEngine::topk: query dims mismatch");
   }
+  static obs::Counter* const scans = obs::Registry::global().counter(
+      "seqge_query_scans_total", {}, "Top-k scans executed");
+  scans->add();
   std::vector<float> unit;
   std::span<const float> q = query;
   if (sim == Similarity::kCosine) {
@@ -304,23 +322,37 @@ std::vector<Neighbor> ShardedQueryEngine::topk(
   };
 
   TopKAccumulator merged(acc_k);
-  if (pool_ != nullptr && shards_.size() > 1) {
-    // Fan out: each shard fills its own accumulator, then the per-shard
-    // winners merge in shard order. Shards cover ascending node ranges
-    // and take() sorts ties by ascending node, so equal-score arrivals
-    // reach `merged` in ascending node order — exactly the sequential
-    // scan's arrival order, hence bit-identical results.
-    std::vector<std::vector<Neighbor>> locals(shards_.size());
-    pool_->parallel_for(shards_.size(), [&](std::size_t s) {
-      TopKAccumulator local(acc_k);
-      scan_shard(*shards_[s], local);
-      locals[s] = local.take();
-    });
-    for (const auto& local : locals) {
-      for (const Neighbor& n : local) merged.offer(n.node, n.score);
+  {
+    // The scan_fanout span covers the whole shard sweep — threaded or
+    // sequential — so every sharded engine shows up in the span table.
+    OBS_SPAN("scan_fanout");
+    if (pool_ != nullptr && shards_.size() > 1) {
+      // Fan out: each shard fills its own accumulator, then the
+      // per-shard winners merge in shard order. Shards cover ascending
+      // node ranges and take() sorts ties by ascending node, so
+      // equal-score arrivals reach `merged` in ascending node order —
+      // exactly the sequential scan's arrival order, hence bit-
+      // identical results.
+      std::vector<std::vector<Neighbor>> locals(shards_.size());
+      pool_->parallel_for(shards_.size(), [&](std::size_t s) {
+        const bool timed = obs::enabled();
+        const double t0 = timed ? obs::wall_us() : 0.0;
+        TopKAccumulator local(acc_k);
+        scan_shard(*shards_[s], local);
+        locals[s] = local.take();
+        if (timed) shard_scan_us()->observe(obs::wall_us() - t0);
+      });
+      for (const auto& local : locals) {
+        for (const Neighbor& n : local) merged.offer(n.node, n.score);
+      }
+    } else {
+      const bool timed = obs::enabled();
+      for (const auto& shard : shards_) {
+        const double t0 = timed ? obs::wall_us() : 0.0;
+        scan_shard(*shard, merged);
+        if (timed) shard_scan_us()->observe(obs::wall_us() - t0);
+      }
     }
-  } else {
-    for (const auto& shard : shards_) scan_shard(*shard, merged);
   }
   if (!use_quant) return merged.take();
 

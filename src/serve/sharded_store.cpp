@@ -7,8 +7,43 @@
 
 #include "embedding/checkpoint.hpp"
 #include "embedding/model.hpp"
+#include "obs/metrics.hpp"
 
 namespace seqge::serve {
+
+namespace {
+
+/// Global mirrors of the per-instance counters, summed across every
+/// store in the process so one metrics dump covers publishing cost.
+struct StoreMetrics {
+  obs::Counter* rows_copied;
+  obs::Counter* compactions;
+  obs::Counter* full_publishes;
+  obs::Counter* delta_publishes;
+  obs::Counter* shards_swapped;
+  obs::Gauge* delta_chain_depth;
+};
+
+StoreMetrics& store_metrics() {
+  static StoreMetrics m{
+      obs::Registry::global().counter("seqge_store_rows_copied_total", {},
+                                      "Embedding rows copied on publish"),
+      obs::Registry::global().counter("seqge_store_compactions_total", {},
+                                      "Shard compactions (full repacks)"),
+      obs::Registry::global().counter("seqge_store_full_publishes_total", {},
+                                      "Full-snapshot publications"),
+      obs::Registry::global().counter("seqge_store_delta_publishes_total", {},
+                                      "Delta publications"),
+      obs::Registry::global().counter("seqge_store_shards_swapped_total", {},
+                                      "Shard head RCU swaps"),
+      obs::Registry::global().gauge(
+          "seqge_store_delta_chain_depth", {},
+          "Delta-chain depth of the most recently swapped shard"),
+  };
+  return m;
+}
+
+}  // namespace
 
 ShardedEmbeddingStore::ShardedEmbeddingStore(Config cfg) : cfg_(cfg) {
   if (cfg_.num_shards == 0) {
@@ -34,7 +69,9 @@ void ShardedEmbeddingStore::rebase_all(std::shared_ptr<const MatrixF> base,
     snap->buffers = {base};
     heads_[s].store(std::move(snap), std::memory_order_release);
     shards_swapped_.fetch_add(1, std::memory_order_relaxed);
+    store_metrics().shards_swapped->add();
   }
+  store_metrics().delta_chain_depth->set(0);
 }
 
 std::uint64_t ShardedEmbeddingStore::publish(MatrixF embedding,
@@ -60,6 +97,8 @@ std::uint64_t ShardedEmbeddingStore::publish(MatrixF embedding,
     }
     rows_copied_.fetch_add(embedding.rows(), std::memory_order_relaxed);
     full_publishes_.fetch_add(1, std::memory_order_relaxed);
+    store_metrics().rows_copied->add(embedding.rows());
+    store_metrics().full_publishes->add();
     assigned = version_.load(std::memory_order_relaxed) + 1;
     auto base = std::make_shared<const MatrixF>(std::move(embedding));
     rebase_all(std::move(base), assigned);
@@ -91,6 +130,8 @@ std::shared_ptr<ShardSnapshot> ShardedEmbeddingStore::compact_shard(
   }
   rows_copied_.fetch_add(n, std::memory_order_relaxed);
   compactions_.fetch_add(1, std::memory_order_relaxed);
+  store_metrics().rows_copied->add(n);
+  store_metrics().compactions->add();
 
   auto snap = std::make_shared<ShardSnapshot>();
   snap->version = version;
@@ -130,6 +171,7 @@ std::uint64_t ShardedEmbeddingStore::publish_delta(
     }
     assigned = version_.load(std::memory_order_relaxed) + 1;
     delta_publishes_.fetch_add(1, std::memory_order_relaxed);
+    store_metrics().delta_publishes->add();
 
     if (!touched.empty()) {
       const auto head0 = heads_[0].load(std::memory_order_relaxed);
@@ -138,6 +180,7 @@ std::uint64_t ShardedEmbeddingStore::publish_delta(
             "ShardedEmbeddingStore::publish_delta: dims mismatch");
       }
       rows_copied_.fetch_add(touched.size(), std::memory_order_relaxed);
+      store_metrics().rows_copied->add(touched.size());
       // One shared buffer for the whole delta; every affected shard's
       // snapshot co-owns it and repoints its touched entries into it.
       auto delta = std::make_shared<const MatrixF>(std::move(rows));
@@ -200,8 +243,12 @@ std::uint64_t ShardedEmbeddingStore::publish_delta(
           snap->changed_since_base = std::move(merged);
           snap->delta_rows_since_base = appended;
         }
+        const std::int64_t chain_depth =
+            static_cast<std::int64_t>(snap->delta_chain());
         heads_[s].store(std::move(snap), std::memory_order_release);
         shards_swapped_.fetch_add(1, std::memory_order_relaxed);
+        store_metrics().shards_swapped->add();
+        store_metrics().delta_chain_depth->set(chain_depth);
         i = j;
       }
     }

@@ -1,20 +1,54 @@
 #include "util/logging.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
 
 namespace seqge::log_detail {
 
+namespace {
+
+LogLevel env_threshold() {
+  const char* v = std::getenv("SEQGE_LOG_LEVEL");
+  if (v == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(v, "debug") == 0 || std::strcmp(v, "0") == 0)
+    return LogLevel::kDebug;
+  if (std::strcmp(v, "info") == 0 || std::strcmp(v, "1") == 0)
+    return LogLevel::kInfo;
+  if (std::strcmp(v, "warn") == 0 || std::strcmp(v, "2") == 0)
+    return LogLevel::kWarn;
+  if (std::strcmp(v, "error") == 0 || std::strcmp(v, "3") == 0)
+    return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
 LogLevel& threshold() noexcept {
-  static LogLevel level = LogLevel::kInfo;
+  static LogLevel level = env_threshold();
   return level;
 }
 
 void emit(LogLevel level, std::string_view msg) {
   if (static_cast<int>(level) < static_cast<int>(threshold())) return;
   static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
-  std::fprintf(stderr, "[seqge %s] %.*s\n",
-               kNames[static_cast<int>(level)],
-               static_cast<int>(msg.size()), msg.data());
+  // Build the full line first, then one locked write: concurrent
+  // callers never interleave within a line.
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += "[seqge ";
+  line += kNames[static_cast<int>(level)];
+  line += "] ";
+  line.append(msg.data(), msg.size());
+  line += '\n';
+  std::lock_guard lock(sink_mutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace seqge::log_detail

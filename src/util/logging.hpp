@@ -1,7 +1,9 @@
 #pragma once
 // Minimal leveled logger. Single global sink (stderr); levels can be
-// silenced for tests/benches. Not thread-registered: concurrent lines may
-// interleave, which is acceptable for a research harness.
+// silenced for tests/benches. Each line is built in full and emitted
+// with a single locked write, so concurrent lines never interleave.
+// The initial threshold honours the SEQGE_LOG_LEVEL environment
+// variable (debug|info|warn|error or 0-3); set_log_level() overrides.
 
 #include <sstream>
 #include <string>

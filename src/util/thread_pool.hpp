@@ -22,6 +22,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace seqge {
 
 class ThreadPool {
@@ -60,7 +63,24 @@ class ThreadPool {
       for (std::size_t i = 0; i < count; ++i) fn(i);
       return;
     }
-    std::lock_guard<std::mutex> serial(serial_mu_);
+    // Time only the wait for the batch slot (contention with other
+    // parallel_for callers), not the batch itself.
+    static obs::Histogram* const queue_wait_us =
+        obs::Registry::global().histogram(
+            "seqge_pool_queue_wait_us", obs::default_latency_buckets_us(), {},
+            "Wait for the thread pool batch slot (microseconds)");
+    static obs::Counter* const batches_total = obs::Registry::global().counter(
+        "seqge_pool_batches_total", {},
+        "parallel_for batches dispatched to pool workers");
+    std::unique_lock<std::mutex> serial(serial_mu_, std::defer_lock);
+    if (obs::enabled()) {
+      const double t0 = obs::wall_us();
+      serial.lock();
+      queue_wait_us->observe(obs::wall_us() - t0);
+      batches_total->add();
+    } else {
+      serial.lock();
+    }
     auto batch = std::make_shared<Batch>();
     batch->count = count;
     batch->fn = &fn;
