@@ -18,18 +18,32 @@
 // fans the sharded exact scan out over N threads (bit-identical to the
 // sequential scan).
 //
+// With --listen the process becomes a network server instead of
+// running the in-process query loop: after the first snapshot it binds
+// a seqge-wire-v1 TCP front-end (src/net/server.hpp) and serves
+// external clients (examples/embedding_client, bench/bench_net) until
+// SIGTERM/SIGINT or --listen-for-s elapses, then drains gracefully and
+// exits 0. --port-file writes the bound port (useful with --port 0).
+//
 //   ./examples/embedding_server [--model fpga] [--nodes 300]
 //       [--top-k 5] [--serve-threads 2] [--snapshot-every 64]
 //       [--shards 4] [--quant int8|none] [--scan-threads 2]
 //       [--metrics-out metrics.json [--metrics-period-ms 1000]]
+//       [--listen [--port 7421] [--listen-for-s 30] [--net-workers 2]
+//        [--rate-limit-qps 0] [--max-conns 256] [--port-file path]]
+
+#include <csignal>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <thread>
 
 #include "embedding/backend_registry.hpp"
 #include "embedding/trainer.hpp"
 #include "graph/generators.hpp"
+#include "net/server.hpp"
 #include "obs/export.hpp"
 #include "serve/embedding_server.hpp"
 #include "serve/embedding_store.hpp"
@@ -39,6 +53,11 @@
 #include "util/timer.hpp"
 
 using namespace seqge;
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string model_name = "fpga";
@@ -78,6 +97,25 @@ int main(int argc, char** argv) {
   args.add_size("metrics-period-ms", &metrics_period_ms,
                 "also re-dump --metrics-out every this many ms while "
                 "serving (0 = final dump only)");
+  bool listen = false;
+  std::int64_t listen_port = 0, listen_for_s = 0;
+  std::size_t net_workers = 2, max_conns = 256;
+  double rate_limit_qps = 0.0;
+  std::string port_file;
+  args.add_flag("listen", &listen,
+                "serve seqge-wire-v1 over TCP instead of the in-process "
+                "query loop (runs until SIGTERM or --listen-for-s)");
+  args.add_int("port", &listen_port,
+               "TCP port for --listen (0 = kernel-assigned)");
+  args.add_int("listen-for-s", &listen_for_s,
+               "stop serving after this many seconds (0 = until signal)");
+  args.add_size("net-workers", &net_workers,
+                "network responder threads for --listen");
+  args.add_double("rate-limit-qps", &rate_limit_qps,
+                  "per-connection token-bucket rate (0 = unlimited)");
+  args.add_size("max-conns", &max_conns, "max open connections");
+  args.add_string("port-file", &port_file,
+                  "write the bound port to this file once listening");
   if (!args.parse(argc, argv)) return 1;
 
   const Graph graph =
@@ -164,6 +202,54 @@ int main(int argc, char** argv) {
   if (!metrics_out.empty() && metrics_period_ms > 0) {
     dumper = std::make_unique<obs::PeriodicDumper>(
         metrics_out, std::chrono::milliseconds(metrics_period_ms));
+  }
+
+  if (listen) {
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    net::NetServerConfig ncfg;
+    ncfg.port = static_cast<std::uint16_t>(listen_port);
+    ncfg.workers = net_workers;
+    ncfg.max_connections = max_conns;
+    ncfg.rate_limit_qps = rate_limit_qps;
+    net::Server front(*server, ncfg);
+    front.start();
+    std::printf("listening on %s:%u\n", ncfg.bind_addr.c_str(),
+                static_cast<unsigned>(front.port()));
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+      std::ofstream pf(port_file);
+      pf << front.port() << "\n";
+    }
+
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(listen_for_s);
+    while (g_stop == 0 &&
+           (listen_for_s == 0 ||
+            std::chrono::steady_clock::now() < deadline)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    const std::size_t late = front.stop();
+    trainer.join();
+    const std::size_t engine_late =
+        server->drain_for(std::chrono::seconds(5));
+    std::printf(
+        "served %llu wire requests over %llu connections "
+        "(%llu overload + %llu rate-limit rejects, %llu bad frames); "
+        "drain left %zu net + %zu engine requests in flight\n",
+        static_cast<unsigned long long>(front.requests_admitted()),
+        static_cast<unsigned long long>(front.connections_accepted()),
+        static_cast<unsigned long long>(front.rejected_overload()),
+        static_cast<unsigned long long>(front.rejected_ratelimit()),
+        static_cast<unsigned long long>(front.bad_frames()), late,
+        engine_late);
+    if (dumper != nullptr) dumper->stop();
+    if (dumper == nullptr && !metrics_out.empty() &&
+        !obs::write_metrics_json(metrics_out)) {
+      return 1;
+    }
+    return 0;
   }
 
   Table table({"query", "snapshot version", "walks trained",

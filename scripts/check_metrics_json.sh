@@ -3,7 +3,8 @@
 # required metrics are present and non-trivial.
 #
 #   ./scripts/check_metrics_json.sh FILE [span=NAME|counter=NAME|
-#                                         gauge=NAME|histogram=NAME]...
+#                                         counter0=NAME|gauge=NAME|
+#                                         histogram=NAME]...
 #
 # Checks always applied to FILE:
 #   * parses as JSON with "schema": "seqge-metrics-v1"
@@ -15,12 +16,15 @@
 #   span=walk_gen        seqge_span_wall_us{span="walk_gen"} exists
 #                        with count > 0 (and its cpu twin exists)
 #   counter=NAME         counter NAME exists with value > 0
+#   counter0=NAME        counter NAME exists (zero allowed — for shed
+#                        counters that legitimately stay 0 in a
+#                        well-provisioned leg)
 #   gauge=NAME           gauge NAME exists (any value)
 #   histogram=NAME       histogram NAME exists with count > 0
 #
 # Exits non-zero listing every unmet requirement. Used by the CI
 # metrics job on the bench_serving / bench_pipeline / embedding_server
-# dumps.
+# dumps and by the net job on the bench_net dump (seqge_net_*).
 
 set -u
 
@@ -125,6 +129,9 @@ for req in reqs:
             fail.append(f"counter {name!r}: missing")
         elif not m.get("value"):
             fail.append(f"counter {name!r}: value is zero")
+    elif kind == "counter0":
+        if find(name, "counter") is None:
+            fail.append(f"counter {name!r}: missing")
     elif kind == "gauge":
         if find(name, "gauge") is None:
             fail.append(f"gauge {name!r}: missing")

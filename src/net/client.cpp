@@ -1,0 +1,177 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace seqge::net {
+
+Client::Client(const std::string& addr, std::uint16_t port, ClientConfig cfg)
+    : fd_(connect_tcp(addr, port)), cfg_(cfg) {
+  if (cfg_.recv_timeout_ms > 0) {
+    set_recv_timeout(fd_, cfg_.recv_timeout_ms);
+  }
+}
+
+void Client::send_frame(const std::vector<std::uint8_t>& frame) {
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd_.get(), frame.data() + off,
+                             frame.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw std::system_error(errno, std::generic_category(),
+                            "net: client send");
+  }
+}
+
+Response Client::read_one() {
+  for (;;) {
+    bool too_large = false;
+    const std::size_t fsize =
+        frame_size(in_, cfg_.max_frame_bytes, &too_large);
+    if (too_large) {
+      throw std::runtime_error("net: client: response frame over limit");
+    }
+    if (fsize != 0) {
+      Response resp;
+      const std::span<const std::uint8_t> body(in_.data() + kLenBytes,
+                                               fsize - kLenBytes);
+      const bool ok = decode_response(body, resp);
+      in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(fsize));
+      if (!ok) {
+        throw std::runtime_error("net: client: malformed response frame");
+      }
+      return resp;
+    }
+    std::uint8_t buf[16 * 1024];
+    const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      in_.insert(in_.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      throw std::runtime_error("net: client: connection closed by server");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw std::runtime_error("net: client: receive timeout");
+    }
+    throw std::system_error(errno, std::generic_category(),
+                            "net: client recv");
+  }
+}
+
+Response Client::recv() {
+  if (!parked_order_.empty()) {
+    const std::uint64_t id = parked_order_.front();
+    parked_order_.erase(parked_order_.begin());
+    auto it = parked_.find(id);
+    Response resp = std::move(it->second);
+    parked_.erase(it);
+    return resp;
+  }
+  return read_one();
+}
+
+Response Client::wait(std::uint64_t id) {
+  auto it = parked_.find(id);
+  if (it != parked_.end()) {
+    Response resp = std::move(it->second);
+    parked_.erase(it);
+    for (auto oit = parked_order_.begin(); oit != parked_order_.end(); ++oit) {
+      if (*oit == id) {
+        parked_order_.erase(oit);
+        break;
+      }
+    }
+    return resp;
+  }
+  for (;;) {
+    Response resp = read_one();
+    if (resp.id == id) return resp;
+    parked_order_.push_back(resp.id);
+    parked_.emplace(resp.id, std::move(resp));
+  }
+}
+
+// --- pipelined sends -----------------------------------------------------
+
+std::uint64_t Client::send_topk(NodeId node, std::uint32_t k) {
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> frame;
+  encode_topk_request(frame, id, node, k);
+  send_frame(frame);
+  return id;
+}
+
+std::uint64_t Client::send_score(NodeId u, NodeId v, EdgeScore kind) {
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> frame;
+  encode_score_request(frame, id, u, v, kind);
+  send_frame(frame);
+  return id;
+}
+
+std::uint64_t Client::send_topk_batch(std::span<const NodeId> nodes,
+                                      std::uint32_t k) {
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> frame;
+  encode_topk_batch_request(frame, id, nodes, k);
+  send_frame(frame);
+  return id;
+}
+
+std::uint64_t Client::send_score_batch(
+    std::span<const std::pair<NodeId, NodeId>> pairs, EdgeScore kind) {
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> frame;
+  encode_score_batch_request(frame, id, pairs, kind);
+  send_frame(frame);
+  return id;
+}
+
+std::uint64_t Client::send_ping() {
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> frame;
+  encode_ping_request(frame, id);
+  send_frame(frame);
+  return id;
+}
+
+// --- sync wrappers -------------------------------------------------------
+
+Response Client::topk(NodeId node, std::uint32_t k) {
+  return wait(send_topk(node, k));
+}
+
+Response Client::score(NodeId u, NodeId v, EdgeScore kind) {
+  return wait(send_score(u, v, kind));
+}
+
+Response Client::topk_batch(std::span<const NodeId> nodes, std::uint32_t k) {
+  return wait(send_topk_batch(nodes, k));
+}
+
+Response Client::score_batch(
+    std::span<const std::pair<NodeId, NodeId>> pairs, EdgeScore kind) {
+  return wait(send_score_batch(pairs, kind));
+}
+
+Response Client::stats() {
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> frame;
+  encode_stats_request(frame, id);
+  send_frame(frame);
+  return wait(id);
+}
+
+Response Client::ping() { return wait(send_ping()); }
+
+}  // namespace seqge::net

@@ -1,0 +1,98 @@
+#pragma once
+// seqge-wire-v1 client. One TCP connection, blocking socket, two usage
+// styles:
+//
+//  * Sync: topk()/score()/..., one request in flight — send, then read
+//    frames until the response with the matching correlation id shows
+//    up (responses may interleave arbitrarily when mixed with async
+//    sends; anything that is not the awaited id is parked).
+//  * Pipelined: send_*() returns the correlation id immediately without
+//    waiting; recv() returns the next response in arrival order and
+//    wait(id) a specific one. The load generator (bench/bench_net.cpp)
+//    keeps a configurable window of these outstanding per connection —
+//    that window, not connection count, is what drives the server's
+//    coalescing and overload behaviour.
+//
+// Errors: socket failures and malformed response frames throw
+// std::runtime_error / std::system_error (the stream is unusable once
+// framing is broken). Shed responses (OVERLOADED, RATE_LIMITED, ...)
+// are NOT exceptions — they come back as a Response with that status,
+// because backpressure is data the caller reacts to, not a bug.
+//
+// Not thread-safe: one Client per thread.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace seqge::net {
+
+struct ClientConfig {
+  /// Responses announcing a larger body abort with an exception.
+  std::size_t max_frame_bytes = kDefaultMaxFrame;
+  /// SO_RCVTIMEO for reads; 0 = block forever. A timeout surfaces as
+  /// std::runtime_error from recv()/wait().
+  std::uint32_t recv_timeout_ms = 0;
+};
+
+class Client {
+ public:
+  /// Connects immediately; throws std::system_error on failure.
+  Client(const std::string& addr, std::uint16_t port, ClientConfig cfg = {});
+
+  Client(Client&&) noexcept = default;
+  Client& operator=(Client&&) noexcept = default;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // --- sync calls (send + wait for this response) ------------------------
+
+  Response topk(NodeId node, std::uint32_t k);
+  Response score(NodeId u, NodeId v, EdgeScore kind);
+  Response topk_batch(std::span<const NodeId> nodes, std::uint32_t k);
+  Response score_batch(std::span<const std::pair<NodeId, NodeId>> pairs,
+                       EdgeScore kind);
+  Response stats();
+  Response ping();
+
+  // --- pipelined calls (send only; collect with recv()/wait()) -----------
+
+  std::uint64_t send_topk(NodeId node, std::uint32_t k);
+  std::uint64_t send_score(NodeId u, NodeId v, EdgeScore kind);
+  std::uint64_t send_topk_batch(std::span<const NodeId> nodes,
+                                std::uint32_t k);
+  std::uint64_t send_score_batch(
+      std::span<const std::pair<NodeId, NodeId>> pairs, EdgeScore kind);
+  std::uint64_t send_ping();
+
+  /// Next response in arrival order (parked responses first). Throws
+  /// on EOF, socket error, or a malformed frame.
+  Response recv();
+  /// The response with this correlation id; other arrivals are parked
+  /// for later recv()/wait() calls.
+  Response wait(std::uint64_t id);
+
+  /// Responses received but not yet claimed by recv()/wait().
+  [[nodiscard]] std::size_t parked() const noexcept {
+    return parked_.size();
+  }
+
+ private:
+  void send_frame(const std::vector<std::uint8_t>& frame);
+  /// Read exactly one frame off the socket and decode it.
+  Response read_one();
+
+  Fd fd_;
+  ClientConfig cfg_;
+  std::uint64_t next_id_ = 1;
+  std::vector<std::uint8_t> in_;
+  std::unordered_map<std::uint64_t, Response> parked_;
+  std::vector<std::uint64_t> parked_order_;
+};
+
+}  // namespace seqge::net

@@ -1,0 +1,101 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace seqge::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in make_addr(const std::string& addr, std::uint16_t port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  if (::inet_pton(AF_INET, addr.c_str(), &sa.sin_addr) != 1) {
+    throw std::system_error(EINVAL, std::generic_category(),
+                            "net: bad IPv4 address: " + addr);
+  }
+  return sa;
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd listen_tcp(const std::string& addr, std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("net: socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    throw_errno("net: setsockopt(SO_REUSEADDR)");
+  }
+  const sockaddr_in sa = make_addr(addr, port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) !=
+      0) {
+    throw_errno("net: bind " + addr + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) != 0) throw_errno("net: listen");
+  return fd;
+}
+
+std::uint16_t bound_port(const Fd& fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    throw_errno("net: getsockname");
+  }
+  return ntohs(sa.sin_port);
+}
+
+Fd connect_tcp(const std::string& addr, std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("net: socket");
+  const sockaddr_in sa = make_addr(addr, port);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa),
+                sizeof(sa)) != 0) {
+    throw_errno("net: connect " + addr + ":" + std::to_string(port));
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
+void set_nonblocking(const Fd& fd) {
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    throw_errno("net: fcntl(O_NONBLOCK)");
+  }
+}
+
+void set_nodelay(const Fd& fd) noexcept {
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void set_recv_timeout(const Fd& fd, std::uint32_t ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("net: setsockopt(SO_RCVTIMEO)");
+  }
+}
+
+}  // namespace seqge::net

@@ -1,0 +1,65 @@
+#pragma once
+// Thin POSIX TCP socket helpers for the net/ subsystem: an RAII fd
+// owner plus the handful of listen/connect/option calls the server and
+// client need. Errors surface as std::system_error with the errno
+// category so call sites log actionable messages. Loopback-first: the
+// bench and tests drive everything over 127.0.0.1, but nothing here is
+// loopback-specific.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace seqge::net {
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int release() noexcept { return std::exchange(fd_, -1); }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on `addr:port` (port 0 = kernel-assigned ephemeral
+/// port, read back via bound_port). SO_REUSEADDR is set so restarts do
+/// not fight TIME_WAIT. Throws std::system_error.
+[[nodiscard]] Fd listen_tcp(const std::string& addr, std::uint16_t port,
+                            int backlog = 128);
+
+/// The local port a bound socket ended up on.
+[[nodiscard]] std::uint16_t bound_port(const Fd& fd);
+
+/// Blocking connect to `addr:port`. TCP_NODELAY is set (the wire
+/// protocol writes whole frames; Nagle only adds latency). Throws
+/// std::system_error on failure.
+[[nodiscard]] Fd connect_tcp(const std::string& addr, std::uint16_t port);
+
+/// Switch a socket to non-blocking mode. Throws std::system_error.
+void set_nonblocking(const Fd& fd);
+
+/// Disable Nagle. Best-effort (ignored on failure: correctness never
+/// depends on it).
+void set_nodelay(const Fd& fd) noexcept;
+
+/// SO_RCVTIMEO in milliseconds for blocking clients (0 = no timeout).
+void set_recv_timeout(const Fd& fd, std::uint32_t ms);
+
+}  // namespace seqge::net

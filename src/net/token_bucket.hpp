@@ -1,0 +1,45 @@
+#pragma once
+// Per-client token-bucket rate limiter for the serving front-end. One
+// bucket per connection, touched only from the event-loop thread, so
+// there is no locking: refill is computed lazily from the elapsed time
+// at each take() instead of by a timer thread.
+
+#include <algorithm>
+#include <chrono>
+
+namespace seqge::net {
+
+class TokenBucket {
+ public:
+  /// `rate` tokens per second, up to `burst` banked. rate <= 0 disables
+  /// the limiter (take() always succeeds).
+  TokenBucket(double rate, double burst,
+              std::chrono::steady_clock::time_point now =
+                  std::chrono::steady_clock::now()) noexcept
+      : rate_(rate), burst_(std::max(burst, 1.0)), tokens_(burst_),
+        last_(now) {}
+
+  /// Consume one token. Returns false (request should be shed with
+  /// RATE_LIMITED) when the bucket is empty.
+  bool take(std::chrono::steady_clock::time_point now =
+                std::chrono::steady_clock::now()) noexcept {
+    if (rate_ <= 0.0) return true;
+    const double elapsed =
+        std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  [[nodiscard]] double tokens() const noexcept { return tokens_; }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  std::chrono::steady_clock::time_point last_;
+};
+
+}  // namespace seqge::net

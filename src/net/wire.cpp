@@ -1,0 +1,437 @@
+#include "net/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace seqge::net {
+
+namespace {
+
+// Little-endian primitive writers. The codebase only targets
+// little-endian hosts (x86-64, aarch64), so these are memcpys; the
+// byte order is nonetheless pinned here, in one place.
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const auto n = out.size();
+  out.resize(n + 4);
+  std::memcpy(out.data() + n, &v, 4);
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const auto n = out.size();
+  out.resize(n + 8);
+  std::memcpy(out.data() + n, &v, 8);
+}
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  put_u32(out, std::bit_cast<std::uint32_t>(v));
+}
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked read cursor over a frame body. Every take_* returns
+/// false once the body is exhausted; decoders propagate that as
+/// kBadRequest instead of reading past the buffer.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> buf) : buf_(buf) {}
+
+  bool take_u8(std::uint8_t& v) {
+    if (off_ + 1 > buf_.size()) return false;
+    v = buf_[off_++];
+    return true;
+  }
+  bool take_u32(std::uint32_t& v) {
+    if (off_ + 4 > buf_.size()) return false;
+    std::memcpy(&v, buf_.data() + off_, 4);
+    off_ += 4;
+    return true;
+  }
+  bool take_u64(std::uint64_t& v) {
+    if (off_ + 8 > buf_.size()) return false;
+    std::memcpy(&v, buf_.data() + off_, 8);
+    off_ += 8;
+    return true;
+  }
+  bool take_f32(float& v) {
+    std::uint32_t bits = 0;
+    if (!take_u32(bits)) return false;
+    v = std::bit_cast<float>(bits);
+    return true;
+  }
+  bool take_f64(double& v) {
+    std::uint64_t bits = 0;
+    if (!take_u64(bits)) return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+  }
+  /// True when `count` items of `item_bytes` each fit in what remains —
+  /// checked before any reserve/resize so a hostile count cannot force
+  /// a huge allocation.
+  [[nodiscard]] bool fits(std::uint64_t count,
+                          std::size_t item_bytes) const {
+    return count * item_bytes <= remaining();
+  }
+  [[nodiscard]] std::size_t remaining() const { return buf_.size() - off_; }
+  [[nodiscard]] bool exhausted() const { return off_ == buf_.size(); }
+
+ private:
+  std::span<const std::uint8_t> buf_;
+  std::size_t off_ = 0;
+};
+
+/// Start a frame: length placeholder + body header. Returns the offset
+/// of the placeholder for finish_frame to patch.
+std::size_t begin_frame(std::vector<std::uint8_t>& out, std::uint8_t type,
+                        Status status, std::uint64_t id) {
+  const std::size_t len_at = out.size();
+  put_u32(out, 0);  // patched by finish_frame
+  put_u8(out, kWireVersion);
+  put_u8(out, type);
+  put_u8(out, static_cast<std::uint8_t>(status));
+  put_u8(out, 0);  // flags
+  put_u64(out, id);
+  return len_at;
+}
+
+void finish_frame(std::vector<std::uint8_t>& out, std::size_t len_at) {
+  const auto body_len =
+      static_cast<std::uint32_t>(out.size() - len_at - kLenBytes);
+  std::memcpy(out.data() + len_at, &body_len, 4);
+}
+
+std::uint8_t req_type(MsgType t) { return static_cast<std::uint8_t>(t); }
+std::uint8_t resp_type(MsgType t) {
+  return static_cast<std::uint8_t>(t) | kResponseBit;
+}
+
+bool valid_edge_score(std::uint8_t v) {
+  return v <= static_cast<std::uint8_t>(EdgeScore::kHadamardL2);
+}
+
+}  // namespace
+
+const char* status_name(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kError: return "ERROR";
+    case Status::kOverloaded: return "OVERLOADED";
+    case Status::kRateLimited: return "RATE_LIMITED";
+    case Status::kBadRequest: return "BAD_REQUEST";
+    case Status::kVersionMismatch: return "VERSION_MISMATCH";
+    case Status::kNotReady: return "NOT_READY";
+    case Status::kShuttingDown: return "SHUTTING_DOWN";
+    case Status::kFrameTooLarge: return "FRAME_TOO_LARGE";
+  }
+  return "UNKNOWN";
+}
+
+// --- request encoders ----------------------------------------------------
+
+void encode_topk_request(std::vector<std::uint8_t>& out, std::uint64_t id,
+                         NodeId node, std::uint32_t k) {
+  const auto at = begin_frame(out, req_type(MsgType::kTopK), Status::kOk, id);
+  put_u32(out, node);
+  put_u32(out, k);
+  finish_frame(out, at);
+}
+
+void encode_score_request(std::vector<std::uint8_t>& out, std::uint64_t id,
+                          NodeId u, NodeId v, EdgeScore kind) {
+  const auto at =
+      begin_frame(out, req_type(MsgType::kScore), Status::kOk, id);
+  put_u32(out, u);
+  put_u32(out, v);
+  put_u8(out, static_cast<std::uint8_t>(kind));
+  finish_frame(out, at);
+}
+
+void encode_topk_batch_request(std::vector<std::uint8_t>& out,
+                               std::uint64_t id,
+                               std::span<const NodeId> nodes,
+                               std::uint32_t k) {
+  const auto at =
+      begin_frame(out, req_type(MsgType::kTopKBatch), Status::kOk, id);
+  put_u32(out, k);
+  put_u32(out, static_cast<std::uint32_t>(nodes.size()));
+  for (NodeId n : nodes) put_u32(out, n);
+  finish_frame(out, at);
+}
+
+void encode_score_batch_request(
+    std::vector<std::uint8_t>& out, std::uint64_t id,
+    std::span<const std::pair<NodeId, NodeId>> pairs, EdgeScore kind) {
+  const auto at =
+      begin_frame(out, req_type(MsgType::kScoreBatch), Status::kOk, id);
+  put_u8(out, static_cast<std::uint8_t>(kind));
+  put_u32(out, static_cast<std::uint32_t>(pairs.size()));
+  for (const auto& [u, v] : pairs) {
+    put_u32(out, u);
+    put_u32(out, v);
+  }
+  finish_frame(out, at);
+}
+
+void encode_stats_request(std::vector<std::uint8_t>& out, std::uint64_t id) {
+  finish_frame(out, begin_frame(out, req_type(MsgType::kStats),
+                                Status::kOk, id));
+}
+
+void encode_ping_request(std::vector<std::uint8_t>& out, std::uint64_t id) {
+  finish_frame(out,
+               begin_frame(out, req_type(MsgType::kPing), Status::kOk, id));
+}
+
+// --- response encoders ---------------------------------------------------
+
+void encode_topk_response(std::vector<std::uint8_t>& out, std::uint64_t id,
+                          std::uint64_t version,
+                          std::span<const serve::Neighbor> neighbors) {
+  const auto at =
+      begin_frame(out, resp_type(MsgType::kTopK), Status::kOk, id);
+  put_u64(out, version);
+  put_u32(out, static_cast<std::uint32_t>(neighbors.size()));
+  for (const auto& n : neighbors) {
+    put_u32(out, n.node);
+    put_f32(out, n.score);
+  }
+  finish_frame(out, at);
+}
+
+void encode_score_response(std::vector<std::uint8_t>& out, std::uint64_t id,
+                           std::uint64_t version, double score) {
+  const auto at =
+      begin_frame(out, resp_type(MsgType::kScore), Status::kOk, id);
+  put_u64(out, version);
+  put_f64(out, score);
+  finish_frame(out, at);
+}
+
+void encode_topk_batch_response(
+    std::vector<std::uint8_t>& out, std::uint64_t id, std::uint64_t version,
+    std::span<const std::vector<serve::Neighbor>> results) {
+  const auto at =
+      begin_frame(out, resp_type(MsgType::kTopKBatch), Status::kOk, id);
+  put_u64(out, version);
+  put_u32(out, static_cast<std::uint32_t>(results.size()));
+  for (const auto& list : results) {
+    put_u32(out, static_cast<std::uint32_t>(list.size()));
+    for (const auto& n : list) {
+      put_u32(out, n.node);
+      put_f32(out, n.score);
+    }
+  }
+  finish_frame(out, at);
+}
+
+void encode_score_batch_response(std::vector<std::uint8_t>& out,
+                                 std::uint64_t id, std::uint64_t version,
+                                 std::span<const double> scores) {
+  const auto at =
+      begin_frame(out, resp_type(MsgType::kScoreBatch), Status::kOk, id);
+  put_u64(out, version);
+  put_u32(out, static_cast<std::uint32_t>(scores.size()));
+  for (double s : scores) put_f64(out, s);
+  finish_frame(out, at);
+}
+
+void encode_stats_response(std::vector<std::uint8_t>& out, std::uint64_t id,
+                           const ServerStats& stats) {
+  const auto at =
+      begin_frame(out, resp_type(MsgType::kStats), Status::kOk, id);
+  put_u64(out, stats.snapshot_version);
+  put_u64(out, stats.queries_served);
+  put_u64(out, stats.engine_rebuilds);
+  put_u64(out, stats.queue_depth);
+  put_u64(out, stats.queue_capacity);
+  put_u64(out, stats.open_connections);
+  put_u64(out, stats.connections_total);
+  put_u64(out, stats.requests_total);
+  put_u64(out, stats.rejected_overload);
+  put_u64(out, stats.rejected_ratelimit);
+  put_u64(out, stats.bad_frames);
+  finish_frame(out, at);
+}
+
+void encode_ping_response(std::vector<std::uint8_t>& out, std::uint64_t id) {
+  finish_frame(out,
+               begin_frame(out, resp_type(MsgType::kPing), Status::kOk, id));
+}
+
+void encode_error_response(std::vector<std::uint8_t>& out, MsgType type,
+                           std::uint64_t id, Status status) {
+  finish_frame(out, begin_frame(out, resp_type(type), status, id));
+}
+
+// --- decoding ------------------------------------------------------------
+
+std::size_t frame_size(std::span<const std::uint8_t> buf,
+                       std::size_t max_frame, bool* too_large) {
+  *too_large = false;
+  if (buf.size() < kLenBytes) return 0;
+  std::uint32_t body_len = 0;
+  std::memcpy(&body_len, buf.data(), 4);
+  if (body_len > max_frame) {
+    *too_large = true;
+    return 0;
+  }
+  if (buf.size() < kLenBytes + body_len) return 0;
+  return kLenBytes + body_len;
+}
+
+bool decode_header(std::span<const std::uint8_t> body, FrameHeader& out) {
+  if (body.size() < kHeaderBytes) return false;
+  out.version = body[0];
+  out.type = body[1];
+  out.status = static_cast<Status>(body[2]);
+  out.flags = body[3];
+  std::memcpy(&out.id, body.data() + 4, 8);
+  return true;
+}
+
+Status decode_request(std::span<const std::uint8_t> body, Request& out) {
+  FrameHeader hdr;
+  if (!decode_header(body, hdr)) return Status::kBadRequest;
+  out.id = hdr.id;
+  if (hdr.version != kWireVersion) return Status::kVersionMismatch;
+  if (hdr.flags != 0) return Status::kBadRequest;
+  if ((hdr.type & kResponseBit) != 0) return Status::kBadRequest;
+  if (hdr.type < static_cast<std::uint8_t>(MsgType::kTopK) ||
+      hdr.type > static_cast<std::uint8_t>(MsgType::kPing)) {
+    return Status::kBadRequest;
+  }
+  out.type = static_cast<MsgType>(hdr.type);
+
+  Reader r(body.subspan(kHeaderBytes));
+  switch (out.type) {
+    case MsgType::kTopK: {
+      if (!r.take_u32(out.u) || !r.take_u32(out.k)) {
+        return Status::kBadRequest;
+      }
+      break;
+    }
+    case MsgType::kScore: {
+      std::uint8_t kind = 0;
+      if (!r.take_u32(out.u) || !r.take_u32(out.v) || !r.take_u8(kind) ||
+          !valid_edge_score(kind)) {
+        return Status::kBadRequest;
+      }
+      out.kind = static_cast<EdgeScore>(kind);
+      break;
+    }
+    case MsgType::kTopKBatch: {
+      std::uint32_t count = 0;
+      if (!r.take_u32(out.k) || !r.take_u32(count) || !r.fits(count, 4)) {
+        return Status::kBadRequest;
+      }
+      out.nodes.resize(count);
+      for (auto& n : out.nodes) {
+        if (!r.take_u32(n)) return Status::kBadRequest;
+      }
+      break;
+    }
+    case MsgType::kScoreBatch: {
+      std::uint8_t kind = 0;
+      std::uint32_t count = 0;
+      if (!r.take_u8(kind) || !valid_edge_score(kind) ||
+          !r.take_u32(count) || !r.fits(count, 8)) {
+        return Status::kBadRequest;
+      }
+      out.kind = static_cast<EdgeScore>(kind);
+      out.pairs.resize(count);
+      for (auto& [u, v] : out.pairs) {
+        if (!r.take_u32(u) || !r.take_u32(v)) return Status::kBadRequest;
+      }
+      break;
+    }
+    case MsgType::kStats:
+    case MsgType::kPing:
+      break;
+  }
+  if (!r.exhausted()) return Status::kBadRequest;  // trailing bytes
+  return Status::kOk;
+}
+
+bool decode_response(std::span<const std::uint8_t> body, Response& out) {
+  FrameHeader hdr;
+  if (!decode_header(body, hdr)) return false;
+  if (hdr.version != kWireVersion) return false;
+  if ((hdr.type & kResponseBit) == 0) return false;
+  const std::uint8_t base = hdr.type & ~kResponseBit;
+  if (base < static_cast<std::uint8_t>(MsgType::kTopK) ||
+      base > static_cast<std::uint8_t>(MsgType::kPing)) {
+    return false;
+  }
+  out.type = static_cast<MsgType>(base);
+  out.status = hdr.status;
+  out.id = hdr.id;
+
+  Reader r(body.subspan(kHeaderBytes));
+  if (out.status != Status::kOk) return r.exhausted();
+
+  switch (out.type) {
+    case MsgType::kTopK: {
+      std::uint32_t count = 0;
+      if (!r.take_u64(out.version) || !r.take_u32(count) ||
+          !r.fits(count, 8)) {
+        return false;
+      }
+      out.neighbors.resize(count);
+      for (auto& n : out.neighbors) {
+        if (!r.take_u32(n.node) || !r.take_f32(n.score)) return false;
+      }
+      break;
+    }
+    case MsgType::kScore: {
+      if (!r.take_u64(out.version) || !r.take_f64(out.score)) return false;
+      break;
+    }
+    case MsgType::kTopKBatch: {
+      std::uint32_t count = 0;
+      if (!r.take_u64(out.version) || !r.take_u32(count) ||
+          !r.fits(count, 4)) {
+        return false;
+      }
+      out.batch.resize(count);
+      for (auto& list : out.batch) {
+        std::uint32_t m = 0;
+        if (!r.take_u32(m) || !r.fits(m, 8)) return false;
+        list.resize(m);
+        for (auto& n : list) {
+          if (!r.take_u32(n.node) || !r.take_f32(n.score)) return false;
+        }
+      }
+      break;
+    }
+    case MsgType::kScoreBatch: {
+      std::uint32_t count = 0;
+      if (!r.take_u64(out.version) || !r.take_u32(count) ||
+          !r.fits(count, 8)) {
+        return false;
+      }
+      out.scores.resize(count);
+      for (auto& s : out.scores) {
+        if (!r.take_f64(s)) return false;
+      }
+      break;
+    }
+    case MsgType::kStats: {
+      ServerStats& s = out.stats;
+      if (!r.take_u64(s.snapshot_version) || !r.take_u64(s.queries_served) ||
+          !r.take_u64(s.engine_rebuilds) || !r.take_u64(s.queue_depth) ||
+          !r.take_u64(s.queue_capacity) || !r.take_u64(s.open_connections) ||
+          !r.take_u64(s.connections_total) || !r.take_u64(s.requests_total) ||
+          !r.take_u64(s.rejected_overload) ||
+          !r.take_u64(s.rejected_ratelimit) || !r.take_u64(s.bad_frames)) {
+        return false;
+      }
+      break;
+    }
+    case MsgType::kPing:
+      break;
+  }
+  return r.exhausted();
+}
+
+}  // namespace seqge::net

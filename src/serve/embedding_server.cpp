@@ -74,19 +74,49 @@ void EmbeddingServer::drain() {
   }
 }
 
+std::size_t EmbeddingServer::drain_for(std::chrono::milliseconds timeout) {
+  queue_.close();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const std::int64_t left = pending_.load(std::memory_order_acquire);
+    if (left <= 0) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return static_cast<std::size_t>(left);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Fully drained: the workers are about to (or already did) observe
+  // the closed, empty queue and exit; joining cannot block.
+  for (auto& th : workers_) {
+    if (th.joinable()) th.join();
+  }
+  return 0;
+}
+
+bool EmbeddingServer::submit(Request&& req, bool blocking) {
+  req.enqueued = std::chrono::steady_clock::now();
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  const bool accepted = blocking ? queue_.push(std::move(req))
+                                 : queue_.try_push(std::move(req));
+  if (!accepted) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    serve_metrics().rejected->add();
+    return false;
+  }
+  serve_metrics().requests->add();
+  serve_metrics().queue_depth->add();
+  return true;
+}
+
 std::future<TopKResult> EmbeddingServer::topk(NodeId u, std::size_t k) {
   Request req;
   req.type = RequestType::kTopK;
   req.u = u;
   req.k = k;
-  req.enqueued = std::chrono::steady_clock::now();
   std::future<TopKResult> fut = req.topk_promise.get_future();
-  if (!queue_.push(std::move(req))) {
-    serve_metrics().rejected->add();
+  if (!submit(std::move(req), /*blocking=*/true)) {
     throw std::runtime_error("EmbeddingServer: draining, request rejected");
   }
-  serve_metrics().requests->add();
-  serve_metrics().queue_depth->add();
   return fut;
 }
 
@@ -97,14 +127,81 @@ std::future<ScoreResult> EmbeddingServer::score(NodeId u, NodeId v,
   req.u = u;
   req.v = v;
   req.score_kind = kind;
-  req.enqueued = std::chrono::steady_clock::now();
   std::future<ScoreResult> fut = req.score_promise.get_future();
-  if (!queue_.push(std::move(req))) {
-    serve_metrics().rejected->add();
+  if (!submit(std::move(req), /*blocking=*/true)) {
     throw std::runtime_error("EmbeddingServer: draining, request rejected");
   }
-  serve_metrics().requests->add();
-  serve_metrics().queue_depth->add();
+  return fut;
+}
+
+std::future<TopKBatchResult> EmbeddingServer::topk_batch(
+    std::vector<NodeId> nodes, std::size_t k) {
+  Request req;
+  req.type = RequestType::kTopKBatch;
+  req.k = k;
+  req.nodes = std::move(nodes);
+  std::future<TopKBatchResult> fut = req.topk_batch_promise.get_future();
+  if (!submit(std::move(req), /*blocking=*/true)) {
+    throw std::runtime_error("EmbeddingServer: draining, request rejected");
+  }
+  return fut;
+}
+
+std::future<ScoreBatchResult> EmbeddingServer::score_batch(
+    std::vector<std::pair<NodeId, NodeId>> pairs, EdgeScore kind) {
+  Request req;
+  req.type = RequestType::kScoreBatch;
+  req.score_kind = kind;
+  req.pairs = std::move(pairs);
+  std::future<ScoreBatchResult> fut = req.score_batch_promise.get_future();
+  if (!submit(std::move(req), /*blocking=*/true)) {
+    throw std::runtime_error("EmbeddingServer: draining, request rejected");
+  }
+  return fut;
+}
+
+std::optional<std::future<TopKResult>> EmbeddingServer::try_topk(
+    NodeId u, std::size_t k) {
+  Request req;
+  req.type = RequestType::kTopK;
+  req.u = u;
+  req.k = k;
+  std::future<TopKResult> fut = req.topk_promise.get_future();
+  if (!submit(std::move(req), /*blocking=*/false)) return std::nullopt;
+  return fut;
+}
+
+std::optional<std::future<ScoreResult>> EmbeddingServer::try_score(
+    NodeId u, NodeId v, EdgeScore kind) {
+  Request req;
+  req.type = RequestType::kScore;
+  req.u = u;
+  req.v = v;
+  req.score_kind = kind;
+  std::future<ScoreResult> fut = req.score_promise.get_future();
+  if (!submit(std::move(req), /*blocking=*/false)) return std::nullopt;
+  return fut;
+}
+
+std::optional<std::future<TopKBatchResult>> EmbeddingServer::try_topk_batch(
+    std::vector<NodeId> nodes, std::size_t k) {
+  Request req;
+  req.type = RequestType::kTopKBatch;
+  req.k = k;
+  req.nodes = std::move(nodes);
+  std::future<TopKBatchResult> fut = req.topk_batch_promise.get_future();
+  if (!submit(std::move(req), /*blocking=*/false)) return std::nullopt;
+  return fut;
+}
+
+std::optional<std::future<ScoreBatchResult>> EmbeddingServer::try_score_batch(
+    std::vector<std::pair<NodeId, NodeId>> pairs, EdgeScore kind) {
+  Request req;
+  req.type = RequestType::kScoreBatch;
+  req.score_kind = kind;
+  req.pairs = std::move(pairs);
+  std::future<ScoreBatchResult> fut = req.score_batch_promise.get_future();
+  if (!submit(std::move(req), /*blocking=*/false)) return std::nullopt;
   return fut;
 }
 
@@ -154,14 +251,57 @@ std::shared_ptr<const SearchEngine> EmbeddingServer::engine() {
   return built;
 }
 
-void EmbeddingServer::record(const Request& req) {
+void EmbeddingServer::record(const Request& req, std::size_t weight) {
   const double us =
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - req.enqueued)
           .count();
   latency_hist_.observe(us);
   serve_metrics().request_us->observe(us);
-  served_.fetch_add(1, std::memory_order_relaxed);
+  served_.fetch_add(weight, std::memory_order_relaxed);
+}
+
+void EmbeddingServer::answer(Request& req) {
+  const auto eng = engine();
+  if (eng == nullptr) {
+    throw std::runtime_error("EmbeddingServer: no snapshot published yet");
+  }
+  switch (req.type) {
+    case RequestType::kTopK: {
+      TopKResult res;
+      res.version = eng->version();
+      res.neighbors = eng->topk(req.u, req.k, cfg_.similarity);
+      req.topk_promise.set_value(std::move(res));
+      break;
+    }
+    case RequestType::kScore: {
+      ScoreResult res;
+      res.version = eng->version();
+      res.score = eng->score(req.u, req.v, req.score_kind);
+      req.score_promise.set_value(std::move(res));
+      break;
+    }
+    case RequestType::kTopKBatch: {
+      TopKBatchResult res;
+      res.version = eng->version();
+      res.results.reserve(req.nodes.size());
+      for (NodeId u : req.nodes) {
+        res.results.push_back(eng->topk(u, req.k, cfg_.similarity));
+      }
+      req.topk_batch_promise.set_value(std::move(res));
+      break;
+    }
+    case RequestType::kScoreBatch: {
+      ScoreBatchResult res;
+      res.version = eng->version();
+      res.scores.reserve(req.pairs.size());
+      for (const auto& [u, v] : req.pairs) {
+        res.scores.push_back(eng->score(u, v, req.score_kind));
+      }
+      req.score_batch_promise.set_value(std::move(res));
+      break;
+    }
+  }
 }
 
 void EmbeddingServer::worker_loop() {
@@ -171,31 +311,32 @@ void EmbeddingServer::worker_loop() {
     serve_metrics().queue_depth->sub();
     Request& req = *item;
     try {
-      const auto eng = engine();
-      if (eng == nullptr) {
-        throw std::runtime_error(
-            "EmbeddingServer: no snapshot published yet");
-      }
-      if (req.type == RequestType::kTopK) {
-        TopKResult res;
-        res.version = eng->version();
-        res.neighbors = eng->topk(req.u, req.k, cfg_.similarity);
-        req.topk_promise.set_value(std::move(res));
-      } else {
-        ScoreResult res;
-        res.version = eng->version();
-        res.score = eng->score(req.u, req.v, req.score_kind);
-        req.score_promise.set_value(std::move(res));
-      }
+      answer(req);
     } catch (...) {
       auto err = std::current_exception();
-      if (req.type == RequestType::kTopK) {
-        req.topk_promise.set_exception(err);
-      } else {
-        req.score_promise.set_exception(err);
+      switch (req.type) {
+        case RequestType::kTopK:
+          req.topk_promise.set_exception(err);
+          break;
+        case RequestType::kScore:
+          req.score_promise.set_exception(err);
+          break;
+        case RequestType::kTopKBatch:
+          req.topk_batch_promise.set_exception(err);
+          break;
+        case RequestType::kScoreBatch:
+          req.score_batch_promise.set_exception(err);
+          break;
       }
     }
-    record(req);
+    std::size_t weight = 1;
+    if (req.type == RequestType::kTopKBatch) {
+      weight = std::max<std::size_t>(1, req.nodes.size());
+    } else if (req.type == RequestType::kScoreBatch) {
+      weight = std::max<std::size_t>(1, req.pairs.size());
+    }
+    record(req, weight);
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
   }
 }
 

@@ -30,11 +30,14 @@
 // everything already queued (every accepted future is fulfilled), then
 // join. The destructor drains implicitly.
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -77,6 +80,23 @@ struct ScoreResult {
   double score = 0.0;
 };
 
+/// Answer to a batched top-k request: one neighbor list per requested
+/// node, all answered against the same snapshot version. Batches take
+/// one queue slot and one worker wake-up however many nodes they carry,
+/// which is what makes them the coalescing target for the network
+/// front-end (src/net/server.cpp merges concurrent small wire requests
+/// into these).
+struct TopKBatchResult {
+  std::uint64_t version = 0;
+  std::vector<std::vector<Neighbor>> results;  ///< one entry per node
+};
+
+/// Answer to a batched edge-score request (same contract as above).
+struct ScoreBatchResult {
+  std::uint64_t version = 0;
+  std::vector<double> scores;  ///< one entry per (u, v) pair
+};
+
 /// Latency summary, microseconds. `count` covers every answered
 /// request; mean/percentiles/max come from a per-server obs::Histogram
 /// over all requests (constant memory however long the server runs;
@@ -117,18 +137,59 @@ class EmbeddingServer {
   std::future<ScoreResult> score(NodeId u, NodeId v,
                                  EdgeScore kind = EdgeScore::kCosine);
 
+  /// Enqueue a batch of top-k queries answered against one snapshot.
+  /// One queue slot regardless of batch size.
+  std::future<TopKBatchResult> topk_batch(std::vector<NodeId> nodes,
+                                          std::size_t k);
+
+  /// Enqueue a batch of edge-score queries answered against one
+  /// snapshot.
+  std::future<ScoreBatchResult> score_batch(
+      std::vector<std::pair<NodeId, NodeId>> pairs,
+      EdgeScore kind = EdgeScore::kCosine);
+
+  /// Non-blocking admission variants: return std::nullopt immediately
+  /// when the queue is full (or the server is draining) instead of
+  /// blocking or throwing — the shed path the network front-end answers
+  /// with OVERLOADED. The blocking calls above are unchanged.
+  std::optional<std::future<TopKResult>> try_topk(NodeId u, std::size_t k);
+  std::optional<std::future<ScoreResult>> try_score(
+      NodeId u, NodeId v, EdgeScore kind = EdgeScore::kCosine);
+  std::optional<std::future<TopKBatchResult>> try_topk_batch(
+      std::vector<NodeId> nodes, std::size_t k);
+  std::optional<std::future<ScoreBatchResult>> try_score_batch(
+      std::vector<std::pair<NodeId, NodeId>> pairs,
+      EdgeScore kind = EdgeScore::kCosine);
+
   /// Stop admission, answer everything already queued, join the
   /// workers. Idempotent; also run by the destructor.
   void drain();
 
+  /// Bounded drain for clean SIGTERM handling: stop admission, then
+  /// wait up to `timeout` for the queued + in-flight requests to be
+  /// answered. Returns 0 once fully drained (workers joined), or the
+  /// number of requests still pending when the timeout expired (workers
+  /// left running — every accepted promise is still fulfilled
+  /// eventually, and the destructor joins unboundedly).
+  std::size_t drain_for(std::chrono::milliseconds timeout);
+
   [[nodiscard]] bool draining() const noexcept { return queue_.closed(); }
 
-  /// Requests answered so far (successfully or with an error).
+  /// Requests answered so far (successfully or with an error); batch
+  /// requests count once per member.
   [[nodiscard]] std::uint64_t queries_served() const;
   /// Snapshot versions the server has built engines for.
   [[nodiscard]] std::uint64_t engine_rebuilds() const;
   /// Percentile summary of request latency (enqueue -> response set).
   [[nodiscard]] LatencySummary latency() const;
+  /// Requests queued but not yet picked up by a worker — the capacity-
+  /// planning signal the net front-end exports as a gauge.
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_capacity() const noexcept {
+    return queue_.capacity();
+  }
+  /// Latest version the backing store has published (0 = none yet).
+  [[nodiscard]] std::uint64_t store_version() const;
 
  private:
   /// Shared init: exactly one of the stores is non-null.
@@ -136,24 +197,32 @@ class EmbeddingServer {
                   std::shared_ptr<const ShardedEmbeddingStore> sharded,
                   ServerConfig cfg);
 
-  enum class RequestType { kTopK, kScore };
+  enum class RequestType { kTopK, kScore, kTopKBatch, kScoreBatch };
   struct Request {
     RequestType type = RequestType::kTopK;
     NodeId u = 0;
     NodeId v = 0;
     std::size_t k = 10;
     EdgeScore score_kind = EdgeScore::kCosine;
+    std::vector<NodeId> nodes;                        ///< kTopKBatch
+    std::vector<std::pair<NodeId, NodeId>> pairs;     ///< kScoreBatch
     std::chrono::steady_clock::time_point enqueued{};
     std::promise<TopKResult> topk_promise;
     std::promise<ScoreResult> score_promise;
+    std::promise<TopKBatchResult> topk_batch_promise;
+    std::promise<ScoreBatchResult> score_batch_promise;
   };
 
   void worker_loop();
+  void answer(Request& req);
+  /// Push with blocking or shed semantics; updates admission metrics
+  /// and the in-flight count. Returns false when shed (try_push failed
+  /// or, in blocking mode, the queue closed).
+  bool submit(Request&& req, bool blocking);
   /// Current engine, rebuilt (by exactly one worker) when the store has
   /// published a newer version than the cached engine was built for.
   std::shared_ptr<const SearchEngine> engine();
-  [[nodiscard]] std::uint64_t store_version() const;
-  void record(const Request& req);
+  void record(const Request& req, std::size_t weight);
 
   // Exactly one of the two stores is set.
   std::shared_ptr<const EmbeddingStore> store_;
@@ -173,6 +242,12 @@ class EmbeddingServer {
   // is mirrored into the global seqge_serve_request_us histogram.
   obs::Histogram latency_hist_;
   std::atomic<std::uint64_t> served_{0};
+  // Accepted-minus-answered requests (queued + in-flight), the drain
+  // progress signal drain_for polls. Signed: the submitter increments
+  // before the push and decrements on a failed push, so a racing
+  // worker can transiently drive it below the true count but never
+  // hide an accepted request.
+  std::atomic<std::int64_t> pending_{0};
 
   std::vector<std::thread> workers_;
 };

@@ -23,6 +23,22 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
+  /// Non-blocking push: returns false immediately when the queue is
+  /// full or closed, leaving `item` untouched. This is the admission-
+  /// control path — the serving front-end sheds load through it instead
+  /// of parking an event-loop thread; trainers keep the blocking push()
+  /// below (backpressure is the correct behavior for a producer that
+  /// owns its thread).
+  [[nodiscard]] bool try_push(T&& item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocks while full. Returns false (item dropped) if the queue was
   /// closed before space became available.
   bool push(T&& item) {

@@ -471,5 +471,103 @@ TEST(EmbeddingServer, ConcurrentPublishAndQueryStaysConsistent) {
   EXPECT_GT(last_version, 0u);
 }
 
+TEST(EmbeddingServer, BatchRequestsMatchSingles) {
+  auto store = std::make_shared<EmbeddingStore>();
+  const auto snap = clustered_snapshot(200, 8, 4, 29);
+  store->publish(MatrixF(snap->embedding));
+  EmbeddingServer server(store);
+
+  std::vector<NodeId> nodes{0, 17, 42, 199, 42};
+  TopKBatchResult batch = server.topk_batch(nodes, 5).get();
+  EXPECT_EQ(batch.version, 1u);
+  ASSERT_EQ(batch.results.size(), nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const TopKResult single = server.topk(nodes[i], 5).get();
+    ASSERT_EQ(batch.results[i].size(), single.neighbors.size());
+    for (std::size_t j = 0; j < single.neighbors.size(); ++j) {
+      EXPECT_EQ(batch.results[i][j].node, single.neighbors[j].node);
+      EXPECT_EQ(batch.results[i][j].score, single.neighbors[j].score);
+    }
+  }
+
+  std::vector<std::pair<NodeId, NodeId>> pairs{{0, 1}, {17, 42}, {5, 5}};
+  ScoreBatchResult sbatch =
+      server.score_batch(pairs, EdgeScore::kCosine).get();
+  ASSERT_EQ(sbatch.scores.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const ScoreResult single =
+        server.score(pairs[i].first, pairs[i].second, EdgeScore::kCosine)
+            .get();
+    EXPECT_DOUBLE_EQ(sbatch.scores[i], single.score);
+  }
+  server.drain();
+  // Batches count once per member in the served totals.
+  EXPECT_EQ(server.queries_served(), 5u + 5u + 3u + 3u);
+}
+
+TEST(EmbeddingServer, TrySubmissionShedsWhenQueueFull) {
+  auto store = std::make_shared<EmbeddingStore>();
+  store->publish(constant_matrix(600, 32, 1.0f));
+  ServerConfig cfg;
+  cfg.threads = 1;
+  cfg.queue_capacity = 2;
+  EmbeddingServer server(store, cfg);
+
+  // Flood far past the 2-slot queue: try_topk must return nullopt
+  // (shed) rather than block, and every accepted future must resolve.
+  std::vector<std::future<TopKResult>> accepted;
+  std::size_t shed = 0;
+  for (int i = 0; i < 500; ++i) {
+    auto fut = server.try_topk(static_cast<NodeId>(i % 600), 10);
+    if (fut) {
+      accepted.push_back(std::move(*fut));
+    } else {
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0u);
+  EXPECT_GT(accepted.size(), 0u);
+  for (auto& fut : accepted) EXPECT_EQ(fut.get().version, 1u);
+
+  // After drain, try_* sheds instead of throwing (unlike topk()).
+  server.drain();
+  EXPECT_FALSE(server.try_topk(0, 3).has_value());
+  EXPECT_FALSE(server.try_score(0, 1).has_value());
+}
+
+TEST(EmbeddingServer, DrainForReportsLeftoverThenCompletes) {
+  auto store = std::make_shared<EmbeddingStore>();
+  store->publish(constant_matrix(2000, 64, 0.5f));
+  ServerConfig cfg;
+  cfg.threads = 1;
+  EmbeddingServer server(store, cfg);
+
+  // Queue enough brute-force work that a ~0 ms budget cannot finish it.
+  std::vector<std::future<TopKBatchResult>> futures;
+  std::vector<NodeId> nodes(64);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i] = static_cast<NodeId>(i);
+  }
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(server.topk_batch(nodes, 10));
+  }
+  const std::size_t left = server.drain_for(std::chrono::milliseconds(0));
+  EXPECT_GT(left, 0u);
+  EXPECT_TRUE(server.draining());
+  // Every accepted promise is still fulfilled after the timeout path.
+  for (auto& fut : futures) EXPECT_EQ(fut.get().version, 1u);
+  // A second bounded drain now finds nothing pending.
+  EXPECT_EQ(server.drain_for(std::chrono::seconds(30)), 0u);
+}
+
+TEST(EmbeddingServer, DrainForCleanWhenIdle) {
+  auto store = std::make_shared<EmbeddingStore>();
+  store->publish(constant_matrix(10, 4, 1.0f));
+  EmbeddingServer server(store);
+  (void)server.topk(0, 3).get();
+  EXPECT_EQ(server.drain_for(std::chrono::seconds(10)), 0u);
+  EXPECT_TRUE(server.draining());
+}
+
 }  // namespace
 }  // namespace seqge::serve

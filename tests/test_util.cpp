@@ -5,9 +5,11 @@
 
 #include <array>
 #include <cmath>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "util/bounded_queue.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -189,6 +191,41 @@ TEST(Stats, MinMax) {
   const std::vector<double> xs = {3, -1, 4};
   EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
   EXPECT_DOUBLE_EQ(max_of(xs), 4.0);
+}
+
+TEST(BoundedQueue, TryPushShedsWhenFullInsteadOfBlocking) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_EQ(q.size(), 2u);
+  // Full: rejected immediately, no blocking, nothing lost.
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(), 1);
+  // A freed slot admits again.
+  EXPECT_TRUE(q.try_push(4));
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 4);
+}
+
+TEST(BoundedQueue, TryPushRejectedAfterClose) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(1));
+  q.close();
+  EXPECT_FALSE(q.try_push(2));
+  EXPECT_EQ(q.pop(), 1);          // close drains what was admitted
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, TryPushDoesNotConsumeOnFailure) {
+  BoundedQueue<std::string> q(1);
+  EXPECT_TRUE(q.try_push("a"));
+  std::string s = "still-mine";
+  EXPECT_FALSE(q.try_push(std::move(s)));
+  // The rejected value was not moved from: callers may answer the
+  // request another way (the net server's shed path relies on this).
+  EXPECT_EQ(s, "still-mine");
 }
 
 }  // namespace
