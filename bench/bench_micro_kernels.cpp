@@ -11,6 +11,14 @@
 //           scale, l2_norm, fused dot_topk_scan). GATES: dispatched dot
 //           and dot_topk_scan must be >= 2x the scalar reference at the
 //           serving dims (96) whenever a vector ISA is active.
+//   train — scalar reference vs dispatched *training* kernels at the
+//           training dims (96): matvec_transposed, rank1_update, the
+//           fused OS-ELM pair kernels (matvec_both, rank1_matvec), the
+//           gather kernels, sgns_apply, and a whole train_pair fused vs
+//           unfused on the real SGNS model. GATES: dispatched
+//           matvec_transposed must be >= 2x scalar on a vector ISA;
+//           the fused train_pair must not lose to the unfused path at
+//           full scale.
 //   int8  — float scan vs int8 quantized scan (including the float
 //           re-rank the engines do). GATES: the int8 path must not be
 //           slower than the float scan on a vector ISA, and the
@@ -379,7 +387,145 @@ void run_simd_phase(std::size_t rows, int passes) {
   gate("simd_dot_topk_scan_96", 2.0, gate_scan);
 }
 
-// --- phase 3: float vs int8 quantized scan ----------------------------------
+// --- phase 3: scalar vs dispatched training kernels -------------------------
+
+std::vector<SimdRow> g_train;
+
+void train_report(const std::string& kernel, std::size_t dims,
+                  double scalar_ns, double simd_ns) {
+  g_train.push_back({kernel, dims, scalar_ns, simd_ns});
+  std::printf("  %-20s dims=%-3zu scalar %9.1f ns  %s %9.1f ns  (%.2fx)\n",
+              kernel.c_str(), dims, scalar_ns, simd::isa_name(), simd_ns,
+              scalar_ns / simd_ns);
+}
+
+void run_train_phase(std::size_t scale_div, int passes, bool tiny) {
+  std::printf("\n-- train: scalar vs %s training kernels (dims=96) --\n",
+              simd::isa_name());
+  const std::size_t n = 96;  // training dims of every committed config
+  const auto it = [&](std::size_t iters) {
+    return std::max<std::size_t>(1, iters / scale_div);
+  };
+
+  Rng rng(11);
+  std::vector<float> m(n * n), v(n), x(n), y(n), out(n), out2(n);
+  for (auto& f : m) f = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& f : v) f = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& f : x) f = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& f : y) f = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  // hp = h P — one of the two OS-ELM P-products.
+  const double sc_mt = ns_per_op(it(100000), [&] {
+    simd::scalar::matvec_t(m.data(), n, n, v.data(), out.data());
+    keep(out.data());
+  }, passes);
+  const double ve_mt = ns_per_op(it(100000), [&] {
+    simd::matvec_t(m.data(), n, n, v.data(), out.data());
+    keep(out.data());
+  }, passes);
+  train_report("matvec_transposed", n, sc_mt, ve_mt);
+
+  // P -= k ph hp^T. The tiny coefficient keeps m finite over the
+  // repeated in-place updates.
+  const double sc_r1 = ns_per_op(it(100000), [&] {
+    simd::scalar::rank1_update(m.data(), n, n, 1e-7f, x.data(), y.data());
+    keep(m.data());
+  }, passes);
+  const double ve_r1 = ns_per_op(it(100000), [&] {
+    simd::rank1_update(m.data(), n, n, -1e-7f, x.data(), y.data());
+    keep(m.data());
+  }, passes);
+  train_report("rank1_update", n, sc_r1, ve_r1);
+
+  // The fused pair kernels the OS-ELM backends actually call: two P
+  // passes instead of four (see simd.hpp).
+  const double sc_both = ns_per_op(it(100000), [&] {
+    simd::scalar::matvec_both(m.data(), n, v.data(), out.data(),
+                              out2.data());
+    keep(out.data());
+  }, passes);
+  const double ve_both = ns_per_op(it(100000), [&] {
+    simd::matvec_both(m.data(), n, v.data(), out.data(), out2.data());
+    keep(out.data());
+  }, passes);
+  train_report("matvec_both", n, sc_both, ve_both);
+
+  const double sc_r1mv = ns_per_op(it(100000), [&] {
+    simd::scalar::rank1_matvec(m.data(), n, 1e-7f, x.data(), y.data(),
+                               v.data(), out.data());
+    keep(out.data());
+  }, passes);
+  const double ve_r1mv = ns_per_op(it(100000), [&] {
+    simd::rank1_matvec(m.data(), n, -1e-7f, x.data(), y.data(), v.data(),
+                       out.data());
+    keep(out.data());
+  }, passes);
+  train_report("rank1_matvec", n, sc_r1mv, ve_r1mv);
+
+  // One SGNS sample group: 1 positive + 10 negatives of gathered rows.
+  const std::size_t group = 11;
+  std::vector<float> rows(group * n), g(group), h(n), hgrad(n);
+  for (auto& f : rows) f = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& f : g) f = static_cast<float>(rng.uniform(-1e-3, 1e-3));
+  for (auto& f : h) f = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float*> row_ptrs(group);
+  for (std::size_t i = 0; i < group; ++i) row_ptrs[i] = rows.data() + i * n;
+  std::vector<float> scores(group);
+
+  const double sc_gather = ns_per_op(it(500000), [&] {
+    simd::scalar::dot_batch_gather(
+        const_cast<const float* const*>(row_ptrs.data()), group, n, h.data(),
+        scores.data());
+    keep(scores.data());
+  }, passes);
+  const double ve_gather = ns_per_op(it(500000), [&] {
+    simd::dot_batch_gather(const_cast<const float* const*>(row_ptrs.data()),
+                           group, n, h.data(), scores.data());
+    keep(scores.data());
+  }, passes);
+  train_report("dot_batch_gather", n, sc_gather, ve_gather);
+
+  const double sc_apply = ns_per_op(it(200000), [&] {
+    simd::scalar::sgns_apply(h.data(), hgrad.data(), row_ptrs.data(),
+                             g.data(), -1e-4f, group, n);
+    keep(h.data());
+  }, passes);
+  const double ve_apply = ns_per_op(it(200000), [&] {
+    simd::sgns_apply(h.data(), hgrad.data(), row_ptrs.data(), g.data(),
+                     1e-4f, group, n);
+    keep(h.data());
+  }, passes);
+  train_report("sgns_apply", n, sc_apply, ve_apply);
+
+  // Whole train_pair on the real model, fused batched path vs the
+  // sequential per-sample fallback (set_force_unfused) — same model,
+  // same distinct negatives, so both runs take the path they claim.
+  {
+    const Graph& graph = bench_graph().graph;
+    Rng mrng(12);
+    SkipGramSGD model(graph.num_nodes(), n, mrng);
+    std::vector<NodeId> negs;
+    for (NodeId i = 0; i < 10; ++i) negs.push_back(100 + 7 * i);
+    const NodeId center = 1, pos = 2;
+    model.set_force_unfused(true);
+    const double unfused = ns_per_op(it(50000), [&] {
+      keep(model.train_pair(center, pos, negs, 0.01));
+    }, passes);
+    model.set_force_unfused(false);
+    const double fused = ns_per_op(it(50000), [&] {
+      keep(model.train_pair(center, pos, negs, 0.01));
+    }, passes);
+    train_report("train_pair", n, unfused, fused);
+    // Fused-vs-unfused is a modest win by design (the unfused fallback
+    // shares the same dispatched dot/axpy); gate conservatively, and
+    // only at full scale — tiny runs are too short to be stable.
+    gate("train_pair_fused_96", 1.05, unfused / fused, !tiny);
+  }
+
+  gate("train_matvec_t_96", 2.0, sc_mt / ve_mt);
+}
+
+// --- phase 4: float vs int8 quantized scan ----------------------------------
 
 struct Int8Row {
   std::string name;
@@ -471,7 +617,7 @@ int main(int argc, char** argv) {
   args.add_flag("tiny", &tiny, "shrink iteration counts for smoke runs");
   args.add_string("json", &json_path,
                   "write results to this path (BENCH_kernels.json)");
-  args.add_choice("phase", &phase, {"all", "micro", "simd", "int8"},
+  args.add_choice("phase", &phase, {"all", "micro", "simd", "train", "int8"},
                   "which phase(s) to run");
   std::string metrics_out;
   bench::add_metrics_flag(args, &metrics_out);
@@ -487,6 +633,9 @@ int main(int argc, char** argv) {
 
   if (phase == "all" || phase == "micro") run_micro_phase(scale_div);
   if (phase == "all" || phase == "simd") run_simd_phase(scan_rows, passes);
+  if (phase == "all" || phase == "train") {
+    run_train_phase(scale_div, passes, tiny);
+  }
   if (phase == "all" || phase == "int8") run_int8_phase(scan_rows, passes, tiny);
 
   bool all_pass = true;
@@ -520,6 +669,17 @@ int main(int argc, char** argv) {
       simd_arr.push(std::move(j));
     }
     root.set("simd", std::move(simd_arr));
+    Json train_arr = Json::array();
+    for (const auto& r : g_train) {
+      Json j = Json::object();
+      j.set("kernel", Json::str(r.kernel));
+      j.set("dims", Json::num(r.dims));
+      j.set("scalar_ns", Json::num(r.scalar_ns));
+      j.set("simd_ns", Json::num(r.simd_ns));
+      j.set("speedup", Json::num(r.speedup()));
+      train_arr.push(std::move(j));
+    }
+    root.set("train", std::move(train_arr));
     Json int8_arr = Json::array();
     for (const auto& r : g_int8) {
       Json j = Json::object();

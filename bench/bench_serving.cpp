@@ -26,11 +26,11 @@
 // chain-depth compaction policy vs the amortized-cost policy and gates
 // on the cost policy copying fewer rows per publish.
 //
-// Phase 4 (--quant int8, the default) — float vs int8 quantized scan
-// on the final snapshot: the same IVF engine with and without the int8
-// candidate stage. Gates on the int8 engine holding recall@10 >= 0.95
-// against the float engine at the same nprobe, and (at full scale) on
-// it being faster.
+// Phase 4 (--quant int8, the default; bfp for the block-floating-point
+// layout) — float vs quantized scan on the final snapshot: the same
+// IVF engine with and without the quantized candidate stage. Gates on
+// the quantized engine holding recall@10 >= 0.95 against the float
+// engine at the same nprobe, and (at full scale) on it being faster.
 //
 // Phase 5 — observability overhead: the exact-engine scan workload
 // timed with the metrics registry enabled vs disabled (SEQGE_OBS
@@ -99,8 +99,9 @@ int main(int argc, char** argv) {
                 "footprint)");
   args.add_size("scan-threads", &scan_threads,
                 "sharded fan-out threads (0 = sequential scan)");
-  args.add_choice("quant", &quant, {"int8", "none"},
-                  "run the float-vs-int8 phase (int8) or skip it (none)");
+  args.add_choice("quant", &quant, {"int8", "bfp", "none"},
+                  "quantized-scan phase mode: int8 (float scales), bfp "
+                  "(shared int16 exponents), or none (skip)");
   args.add_string("json", &json_path,
                   "write results to this path (BENCH_serving.json)");
   std::string metrics_out;
@@ -495,14 +496,16 @@ int main(int argc, char** argv) {
   };
   std::vector<QuantRow> quant_sweep;
   bool quant_recall_ok = true, quant_perf_ok = true;
-  if (quant == "int8") {
-    std::printf("\nfloat vs int8 quantized IVF scan on the final snapshot "
-                "(recall of int8 vs float at the same nprobe):\n");
+  if (quant != "none") {
+    std::printf("\nfloat vs %s quantized IVF scan on the final snapshot "
+                "(recall of %s vs float at the same nprobe):\n",
+                quant.c_str(), quant.c_str());
     serve::IndexConfig qcfg = ivf_cfg;
-    qcfg.quant = serve::QuantMode::kInt8;
+    qcfg.quant = quant == "bfp" ? serve::QuantMode::kBfp
+                                : serve::QuantMode::kInt8;
     const serve::QueryEngine ivf_int8(snap, qcfg);
     Table qtable({"nprobe", "recall@" + std::to_string(top_k),
-                  "float us/q", "int8 us/q", "speedup"});
+                  "float us/q", quant + " us/q", "speedup"});
     quant_recall_ok = false;
     quant_perf_ok = false;
     for (std::size_t nprobe : {4, 8, 16, 32}) {
@@ -541,13 +544,13 @@ int main(int argc, char** argv) {
     if (tiny) {
       // Per-query times at 2000 nodes are sub-microsecond; only the
       // recall claim is meaningful at smoke scale.
-      std::printf("int8 holds recall@%zu >= 0.95 vs float: %s "
+      std::printf("%s holds recall@%zu >= 0.95 vs float: %s "
                   "(timing ungated at --tiny scale)\n",
-                  top_k, quant_recall_ok ? "yes" : "NO");
+                  quant.c_str(), top_k, quant_recall_ok ? "yes" : "NO");
       quant_perf_ok = true;
     } else {
-      std::printf("int8 faster than float at recall@%zu >= 0.95: %s\n",
-                  top_k,
+      std::printf("%s faster than float at recall@%zu >= 0.95: %s\n",
+                  quant.c_str(), top_k,
                   (quant_recall_ok && quant_perf_ok) ? "yes" : "NO");
     }
   }
@@ -656,14 +659,14 @@ int main(int argc, char** argv) {
     ph3.set("sharded_ivf_sweep", sweep_json(sharded_sweep));
     root.set("publishing", std::move(ph3));
 
-    if (quant == "int8") {
+    if (quant != "none") {
       Json qarr = Json::array();
       for (const auto& r : quant_sweep) {
         Json j = Json::object();
         j.set("nprobe", Json::num(r.nprobe));
         j.set("recall_vs_float", Json::num(r.recall));
         j.set("float_us_per_query", Json::num(r.float_us));
-        j.set("int8_us_per_query", Json::num(r.int8_us));
+        j.set("quant_us_per_query", Json::num(r.int8_us));
         qarr.push(std::move(j));
       }
       root.set("quant_sweep", std::move(qarr));

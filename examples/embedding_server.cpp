@@ -84,9 +84,10 @@ int main(int argc, char** argv) {
   args.add_size("shards", &shards,
                 "shard the store by node range (1 = unsharded); delta "
                 "publishing + fan-out queries when > 1");
-  args.add_choice("quant", &quant, {"none", "int8"},
-                  "scan arithmetic: float rows or int8 quantized rows "
-                  "with float re-rank");
+  args.add_choice("quant", &quant, {"none", "int8", "bfp"},
+                  "scan arithmetic: float rows, int8 quantized rows, or "
+                  "block-floating-point rows (shared-exponent int8), "
+                  "both with float re-rank");
   args.add_size("scan-threads", &scan_threads,
                 "threads for the sharded fan-out scan (0 = sequential)");
   args.add_int("seed", &seed, "random seed");
@@ -189,6 +190,7 @@ int main(int argc, char** argv) {
   serve::ServerConfig srv_cfg;
   srv_cfg.threads = serve_threads;
   if (quant == "int8") srv_cfg.index.quant = serve::QuantMode::kInt8;
+  if (quant == "bfp") srv_cfg.index.quant = serve::QuantMode::kBfp;
   srv_cfg.scan_threads = scan_threads;
   auto server = store != nullptr
                     ? std::make_unique<serve::EmbeddingServer>(store, srv_cfg)

@@ -24,6 +24,11 @@ struct TrainConfig {
   // --- original skip-gram (SGD) ---
   double learning_rate = 0.01;        ///< paper Sec. 4.3
   std::size_t epochs = 1;             ///< passes over the walk corpus
+  /// Opt-in word2vec-style sigmoid lookup table for the SGD model's
+  /// scores (1024 bins over [-6, 6]) instead of std::exp. Trained
+  /// floats are NOT bit-identical to the default; the fixed-seed
+  /// loss/recall equivalence is gated in tests/test_train_fused.cpp.
+  bool fast_sigmoid = false;
 
   // --- proposed OS-ELM model ---
   /// Scale factor mu mapping beta to the input-side weights (Fig. 7:

@@ -62,7 +62,8 @@ double dispatch_batch(const WalkBatch& batch, NegativeMode mode,
 class SgdAdapter final : public EmbeddingModel {
  public:
   SgdAdapter(std::size_t num_nodes, const TrainConfig& cfg, Rng& rng)
-      : model_(num_nodes, cfg.dims, rng), lr_(cfg.learning_rate) {}
+      : model_(num_nodes, cfg.dims, rng, cfg.fast_sigmoid),
+        lr_(cfg.learning_rate) {}
 
   double train_walk(std::span<const NodeId> walk, std::size_t window,
                     const NegativeSampler& sampler, std::size_t ns,

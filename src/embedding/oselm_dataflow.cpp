@@ -31,12 +31,29 @@ double OselmSkipGramDataflow::train_walk(
   }
   delta_p_.fill(0.0f);
 
+  // Duplicate negative draws (sampling with replacement) would make
+  // the gathered delta updates collide on one row — those walks take
+  // the sequential per-sample path. Checked once: the batch is shared
+  // across every context of the walk.
+  bool neg_dups = false;
+  for (std::size_t i = 0; i + 1 < shared_negatives.size() && !neg_dups;
+       ++i) {
+    for (std::size_t j = i + 1; j < shared_negatives.size(); ++j) {
+      if (shared_negatives[i] == shared_negatives[j]) {
+        neg_dups = true;
+        break;
+      }
+    }
+  }
+  const bool fused = !force_unfused_ && !neg_dups;
+
   for_each_context(walk, window, [&](const WalkContext& ctx) {
-    // Stage 1: H from the frozen beta; ph = P H^T, hp = H P.
+    // Stage 1: H from the frozen beta; ph = P H^T, hp = H P — one fused
+    // pass over P (bit-identical to separate matvec + matvec_transposed
+    // calls, simd.hpp contract).
     auto bc = beta_t_.row(ctx.center);
     for (std::size_t d = 0; d < dims(); ++d) h_[d] = mu * bc[d];
-    matvec(p_, std::span<const float>(h_), std::span<float>(ph_));
-    matvec_transposed(p_, std::span<const float>(h_), std::span<float>(hp_));
+    simd::matvec_both(p_.data(), dims(), h_.data(), ph_.data(), hp_.data());
 
     // Stage 2: H P H^T.
     const double hph = dot<float>(h_, ph_);
@@ -58,11 +75,48 @@ double OselmSkipGramDataflow::train_walk(
       axpy<float>(static_cast<float>(e), piht_, delta_beta_.row(s));
     };
     for (NodeId pos : ctx.positives) {
-      train_sample(pos, 1.0f);
+      if (!fused) {
+        train_sample(pos, 1.0f);
+        for (NodeId neg : shared_negatives) {
+          if (neg == pos) continue;
+          train_sample(neg, 0.0f);
+        }
+        continue;
+      }
+      // Fused group: scores come from the frozen beta (batching cannot
+      // go stale), updates land in pairwise-distinct delta rows.
+      sample_ids_.clear();
+      sample_rows_.clear();
+      sample_ids_.push_back(pos);
+      sample_rows_.push_back(beta_t_.row(pos).data());
       for (NodeId neg : shared_negatives) {
         if (neg == pos) continue;
-        train_sample(neg, 0.0f);
+        sample_ids_.push_back(neg);
+        sample_rows_.push_back(beta_t_.row(neg).data());
       }
+      const std::size_t n = sample_ids_.size();
+      scores_.resize(n);
+      coeffs_.resize(n);
+      simd::dot_batch_gather(sample_rows_.data(), n, dims(), h_.data(),
+                             scores_.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = i == 0 ? 1.0 : 0.0;
+        const double e = t - static_cast<double>(scores_[i]);
+        sq_err += e * e;
+        coeffs_[i] = static_cast<float>(e);
+      }
+      // First-touch delta_beta_.row() in sample order (same dirty-list
+      // order as the sequential path), THEN collect the pointers —
+      // row() can grow the pool and move earlier rows.
+      for (std::size_t i = 0; i < n; ++i) {
+        (void)delta_beta_.row(sample_ids_[i]);
+      }
+      delta_rows_.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        delta_rows_.push_back(delta_beta_.row(sample_ids_[i]).data());
+      }
+      simd::axpy_gather(delta_rows_.data(), coeffs_.data(), piht_.data(), n,
+                        dims());
     }
   });
 

@@ -83,6 +83,10 @@ class OselmSkipGramDataflow {
     return (num_nodes() * dims() + dims() * dims()) * bytes_per_scalar;
   }
 
+  /// Debug/bench knob: per-sample sequential delta updates instead of
+  /// the fused batched kernels (which are bit-identical; tests gate).
+  void set_force_unfused(bool v) noexcept { force_unfused_ = v; }
+
  private:
   Options opts_;
   MatrixF beta_t_;  // n x N (frozen during a walk)
@@ -91,6 +95,12 @@ class OselmSkipGramDataflow {
   SparseRowDelta delta_beta_;
   std::vector<float> h_, ph_, hp_, piht_;
   std::vector<NodeId> scratch_negatives_;
+  // Fused-path scratch, reused across contexts/walks.
+  std::vector<NodeId> sample_ids_;
+  std::vector<const float*> sample_rows_;  // frozen beta rows (scores)
+  std::vector<float*> delta_rows_;         // delta_beta_ rows (updates)
+  std::vector<float> scores_, coeffs_;
+  bool force_unfused_ = false;
 };
 
 }  // namespace seqge

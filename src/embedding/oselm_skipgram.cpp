@@ -1,6 +1,7 @@
 #include "embedding/oselm_skipgram.hpp"
 
 #include <cmath>
+#include <cstdint>
 
 #include "linalg/kernels.hpp"
 
@@ -36,26 +37,71 @@ void OselmSkipGram::hidden(NodeId center, std::span<float> h) const noexcept {
   }
 }
 
+void OselmSkipGram::prepare_negatives(std::span<const NodeId> negatives) {
+  neg_rows_.clear();
+  for (NodeId neg : negatives) {
+    float* row = beta_t_.row(neg).data();
+    neg_rows_.push_back(row);
+    // The dims^2 P-matrix math runs before the first batched score
+    // touches these rows — roughly 2 us of compute that hides the
+    // gathered rows' cache-miss latency if we start the fetches now.
+    // Prefetching changes no floats.
+    for (std::size_t b = 0; b < opts_.dims; b += 16) {
+      __builtin_prefetch(row + b);
+    }
+  }
+  // Duplicate draws (sampling is with replacement) make the batched
+  // scores read rows the sequential path updates mid-group — those
+  // contexts take the per-sample fallback. A 64-bit Bloom filter over
+  // the ids screens the common all-distinct batch; only a bit collision
+  // pays for the exact quadratic check, so the verdict is identical.
+  std::uint64_t seen = 0;
+  bool collision = false;
+  for (NodeId neg : negatives) {
+    const std::uint64_t bit = std::uint64_t{1} << (neg & 63u);
+    collision |= (seen & bit) != 0;
+    seen |= bit;
+  }
+  neg_dups_ = false;
+  if (collision) {
+    for (std::size_t i = 0; i + 1 < neg_rows_.size() && !neg_dups_; ++i) {
+      for (std::size_t j = i + 1; j < neg_rows_.size(); ++j) {
+        if (neg_rows_[i] == neg_rows_[j]) {
+          neg_dups_ = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
 double OselmSkipGram::train_context(const WalkContext& ctx,
                                     std::span<const NodeId> negatives) {
+  prepare_negatives(negatives);
+  return train_context_prepared(ctx, negatives);
+}
+
+double OselmSkipGram::train_context_prepared(
+    const WalkContext& ctx, std::span<const NodeId> negatives) {
   const std::size_t n_dims = dims();
   hidden(ctx.center, h_);
 
   // ph = P H^T ; hp = H P. P stays symmetric in exact arithmetic; both
   // are computed as in Algorithm 1 so float round-off follows the same
-  // path as the hardware.
-  matvec(p_, std::span<const float>(h_), std::span<float>(ph_));
-  matvec_transposed(p_, std::span<const float>(h_), std::span<float>(hp_));
+  // path as the hardware. The four dims^2 passes over P (two products,
+  // the rank-1 update, the re-score) fuse into two trips through the
+  // matrix via the SIMD pair kernels — the hot loop of this backend —
+  // with bits identical to the unfused matvec/matvec_transposed/
+  // rank1_update/matvec sequence (simd.hpp contract).
+  simd::matvec_both(p_.data(), n_dims, h_.data(), ph_.data(), hp_.data());
 
   const double hph = dot<float>(h_, ph_);
   const double k = 1.0 / (1.0 + hph);
 
-  // P <- P - (ph hp) k
-  rank1_update(p_, static_cast<float>(-k), std::span<const float>(ph_),
-               std::span<const float>(hp_));
-
-  // ph2 = P_i H^T with the updated P (Algorithm 1 line 7).
-  matvec(p_, std::span<const float>(h_), std::span<float>(ph2_));
+  // P <- P - (ph hp) k, then ph2 = P_i H^T with the updated P
+  // (Algorithm 1 line 7), one row at a time.
+  simd::rank1_matvec(p_.data(), n_dims, static_cast<float>(-k), ph_.data(),
+                     hp_.data(), h_.data(), ph2_.data());
 
   double sq_err = 0.0;
   auto train_sample = [&](NodeId s, float t) {
@@ -65,13 +111,38 @@ double OselmSkipGram::train_context(const WalkContext& ctx,
     axpy<float>(static_cast<float>(e), ph2_, col);
   };
   for (NodeId pos : ctx.positives) {
-    train_sample(pos, 1.0f);
-    for (NodeId neg : negatives) {
-      if (neg == pos) continue;
-      train_sample(neg, 0.0f);
+    float* pos_row = beta_t_.row(pos).data();
+    if (force_unfused_ || neg_dups_) {
+      train_sample(pos, 1.0f);
+      for (NodeId neg : negatives) {
+        if (neg == pos) continue;
+        train_sample(neg, 0.0f);
+      }
+      continue;
     }
+    // Fused group: positive first, then negatives != positive — the
+    // sequential sample order. Rows are pairwise distinct here, so the
+    // batched scores see exactly the floats the sequential pass would,
+    // and the gathered axpy updates cannot collide.
+    sample_rows_.clear();
+    sample_rows_.push_back(pos_row);
+    for (float* np : neg_rows_) {
+      if (np != pos_row) sample_rows_.push_back(np);
+    }
+    const std::size_t n = sample_rows_.size();
+    scores_.resize(n);
+    coeffs_.resize(n);
+    simd::dot_batch_gather(sample_rows_.data(), n, n_dims, h_.data(),
+                           scores_.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = i == 0 ? 1.0 : 0.0;
+      const double e = t - static_cast<double>(scores_[i]);
+      sq_err += e * e;
+      coeffs_[i] = static_cast<float>(e);
+    }
+    simd::axpy_gather(sample_rows_.data(), coeffs_.data(), ph2_.data(), n,
+                      n_dims);
   }
-  (void)n_dims;
   return sq_err;
 }
 
@@ -87,8 +158,9 @@ double OselmSkipGram::train_walk(std::span<const NodeId> walk,
   if (mode == NegativeMode::kPerWalk) {
     sampler.sample_batch(rng, ns, walk.empty() ? 0 : walk[0],
                          scratch_negatives_);
+    prepare_negatives(scratch_negatives_);  // once for the whole walk
     for_each_context(walk, window, [&](const WalkContext& ctx) {
-      err += train_context(ctx, scratch_negatives_);
+      err += train_context_prepared(ctx, scratch_negatives_);
     });
     return err;
   }
@@ -109,8 +181,9 @@ double OselmSkipGram::train_walk(std::span<const NodeId> walk,
   if (opts_.reset_p_per_walk) {
     p_.set_identity(static_cast<float>(opts_.p0));
   }
+  prepare_negatives(shared_negatives);
   for_each_context(walk, window, [&](const WalkContext& ctx) {
-    err += train_context(ctx, shared_negatives);
+    err += train_context_prepared(ctx, shared_negatives);
   });
   return err;
 }

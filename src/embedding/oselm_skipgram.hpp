@@ -65,6 +65,11 @@ class OselmSkipGram {
   double train_context(const WalkContext& ctx,
                        std::span<const NodeId> negatives);
 
+  /// train_context assuming prepare_negatives(negatives) already ran
+  /// (the per-walk shared-negatives paths gather row pointers once).
+  double train_context_prepared(const WalkContext& ctx,
+                                std::span<const NodeId> negatives);
+
   /// Train all contexts of one walk; negatives per context (Algorithm 1
   /// default) or one shared batch per walk.
   double train_walk(std::span<const NodeId> walk, std::size_t window,
@@ -113,7 +118,15 @@ class OselmSkipGram {
   /// Hidden activation of a center node into `h` (dims entries).
   void hidden(NodeId center, std::span<float> h) const noexcept;
 
+  /// Debug/bench knob: per-sample sequential beta updates instead of
+  /// the fused batched kernels (which are bit-identical; tests gate).
+  void set_force_unfused(bool v) noexcept { force_unfused_ = v; }
+
  private:
+  /// Cache beta rows of `negatives` + duplicate detection (see
+  /// SkipGramSGD::prepare_negatives).
+  void prepare_negatives(std::span<const NodeId> negatives);
+
   Options opts_;
   MatrixF beta_t_;  // n x N
   MatrixF p_;       // N x N
@@ -121,6 +134,11 @@ class OselmSkipGram {
   // Scratch (kept to avoid per-context allocation).
   std::vector<float> h_, ph_, hp_, ph2_;
   std::vector<NodeId> scratch_negatives_;
+  // Fused-path scratch, reused across contexts/walks.
+  std::vector<float*> neg_rows_, sample_rows_;
+  std::vector<float> scores_, coeffs_;
+  bool neg_dups_ = false;
+  bool force_unfused_ = false;
 };
 
 }  // namespace seqge

@@ -29,7 +29,12 @@ namespace seqge {
 class SkipGramSGD {
  public:
   /// W_in ~ U(-0.5/dims, 0.5/dims), W_out = 0 (word2vec convention).
-  SkipGramSGD(std::size_t num_nodes, std::size_t dims, Rng& rng);
+  /// `fast_sigmoid` swaps std::exp for the word2vec-style lookup table
+  /// (see TrainConfig::fast_sigmoid) — an opt-in approximation: trained
+  /// floats differ from the default mode, but loss/recall are
+  /// equivalent (gated in tests/test_train_fused.cpp).
+  SkipGramSGD(std::size_t num_nodes, std::size_t dims, Rng& rng,
+              bool fast_sigmoid = false);
 
   /// Train one (center, positive) pair plus `negatives`. Returns the
   /// summed logistic loss over the ns+1 samples (for monitoring).
@@ -75,11 +80,41 @@ class SkipGramSGD {
     return 2 * num_nodes() * dims() * bytes_per_scalar;
   }
 
+  /// Debug/bench knob: route every pair through the sequential
+  /// per-sample reference path instead of the fused batched kernels.
+  /// The fused path is bit-identical on every ISA (tests gate on it);
+  /// this exists to measure and to prove that claim.
+  void set_force_unfused(bool v) noexcept { force_unfused_ = v; }
+  [[nodiscard]] bool fast_sigmoid_enabled() const noexcept {
+    return fast_sigmoid_;
+  }
+
  private:
+  /// Cache w_out_ row pointers of `negatives` in neg_rows_ and detect
+  /// duplicate draws (sampling is with replacement) — once per walk in
+  /// kPerWalk mode, once per pair in kPerContext mode.
+  void prepare_negatives(std::span<const NodeId> negatives);
+  /// train_pair body assuming prepare_negatives(negatives) ran.
+  double train_pair_prepared(NodeId center, NodeId positive,
+                             std::span<const NodeId> negatives, double lr);
+  /// The exact pre-fusion sequential path (duplicate fallback,
+  /// force_unfused, and the reference for the identity tests).
+  double train_pair_unfused(NodeId center, NodeId positive,
+                            std::span<const NodeId> negatives, double lr);
+
   MatrixF w_in_;   // n x dims
   MatrixF w_out_;  // n x dims (row s = output vector of node s)
   std::vector<float> h_grad_;  // scratch, dims entries
   std::vector<NodeId> scratch_negatives_;
+  // Fused-path scratch, reused across pairs/walks (train_walk is
+  // allocation-free in steady state — tests/test_train_fused.cpp pins
+  // that with an operator-new counter).
+  std::vector<float*> neg_rows_;     // w_out_ rows of the negative batch
+  std::vector<float*> sample_rows_;  // positive + filtered negatives
+  std::vector<float> scores_, g_;    // per-sample scores / gradients
+  bool neg_dups_ = false;
+  bool fast_sigmoid_ = false;
+  bool force_unfused_ = false;
 };
 
 }  // namespace seqge

@@ -4,8 +4,9 @@
 // a simple auto-vectorizable loop. OpenMP is applied only where the trip
 // count warrants it (matvec over the full vocabulary).
 //
-// The float instantiations of dot/axpy/scale/l2_norm are specialized to
-// the ISA-dispatched kernels in linalg/simd.hpp (AVX2/NEON at runtime,
+// The float instantiations of dot/axpy/scale/l2_norm and of the matrix
+// kernels matvec/matvec_transposed/rank1_update are specialized to the
+// ISA-dispatched kernels in linalg/simd.hpp (AVX2/NEON at runtime,
 // exact scalar reference under SEQGE_DISABLE_SIMD); every other type
 // keeps the plain loops below.
 
@@ -97,6 +98,43 @@ void rank1_update(Matrix<T>& m, T a, std::span<const T> x,
   for (std::size_t r = 0; r < m.rows(); ++r) {
     axpy(a * x[r], y, m.row(r));
   }
+}
+
+// Float specializations of the matrix kernels route to the fused
+// ISA-dispatched implementations (one dispatch per call instead of one
+// per row; bit-identical to the per-row composition on every ISA).
+
+template <>
+inline void matvec<float>(const Matrix<float>& m, std::span<const float> v,
+                          std::span<float> out) noexcept {
+  assert(v.size() == m.cols() && out.size() == m.rows());
+  const std::size_t rows = m.rows();
+  if (rows > 2048) {
+    // Vocabulary-scale matvec keeps the OpenMP row split; per-row dot
+    // preserves the canonical order, so the bits match dot_batch.
+#pragma omp parallel for schedule(static)
+    for (std::size_t r = 0; r < rows; ++r) {
+      out[r] = simd::dot(m.row(r).data(), v.data(), v.size());
+    }
+    return;
+  }
+  simd::dot_batch(m.data(), rows, m.cols(), v.data(), out.data());
+}
+
+template <>
+inline void matvec_transposed<float>(const Matrix<float>& m,
+                                     std::span<const float> v,
+                                     std::span<float> out) noexcept {
+  assert(v.size() == m.rows() && out.size() == m.cols());
+  simd::matvec_t(m.data(), m.rows(), m.cols(), v.data(), out.data());
+}
+
+template <>
+inline void rank1_update<float>(Matrix<float>& m, float a,
+                                std::span<const float> x,
+                                std::span<const float> y) noexcept {
+  assert(x.size() == m.rows() && y.size() == m.cols());
+  simd::rank1_update(m.data(), m.rows(), m.cols(), a, x.data(), y.data());
 }
 
 /// ||x||_2

@@ -20,6 +20,33 @@ float block_scale(std::span<const float> x, bool pow2) {
   return s;
 }
 
+// Shared exponent e for one block in bfp mode: the smallest e with
+// 2^e >= max|x| / 127, so codes stay inside [-127, 127]. All-zero
+// blocks get the sentinel (and all-zero codes).
+std::int16_t block_exp(std::span<const float> x) {
+  float max_abs = 0.0f;
+  for (float v : x) max_abs = std::max(max_abs, std::abs(v));
+  if (max_abs == 0.0f) return QuantizedRowStore::kZeroExp;
+  int e = 0;
+  const float m = std::frexp(max_abs / 127.0f, &e);  // s = m * 2^e
+  if (m == 0.5f) --e;  // exact power of two: no round-up needed
+  return static_cast<std::int16_t>(e);
+}
+
+// BFP mantissas: code = round(x / 2^e), exact exponent arithmetic via
+// ldexp (immune to 2^|e| overflowing float for denormal-ish blocks).
+void quantize_block_bfp(std::span<const float> x, std::int16_t e,
+                        std::int8_t* codes) {
+  if (e == QuantizedRowStore::kZeroExp) {
+    std::fill(codes, codes + x.size(), std::int8_t{0});
+    return;
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double q = std::round(std::ldexp(static_cast<double>(x[i]), -e));
+    codes[i] = static_cast<std::int8_t>(std::clamp(q, -127.0, 127.0));
+  }
+}
+
 void quantize_block(std::span<const float> x, float scale,
                     std::int8_t* codes) {
   if (scale == 0.0f) {
@@ -43,7 +70,11 @@ QuantizedRowStore::QuantizedRowStore(const MatrixF& rows,
   if (block_dims_ == 0) block_dims_ = 1;
   blocks_ = (dims_ + block_dims_ - 1) / block_dims_;
   codes_.resize(rows_ * dims_);
-  scales_.resize(rows_ * blocks_);
+  if (cfg_.bfp) {
+    exps_.resize(rows_ * blocks_);
+  } else {
+    scales_.resize(rows_ * blocks_);
+  }
   for (std::size_t r = 0; r < rows_; ++r) requantize_row(r, rows.row(r));
 }
 
@@ -51,6 +82,17 @@ void QuantizedRowStore::requantize_row(std::size_t r,
                                        std::span<const float> row) {
   assert(r < rows_ && row.size() == dims_);
   std::int8_t* codes = codes_.data() + r * dims_;
+  if (cfg_.bfp) {
+    std::int16_t* exps = exps_.data() + r * blocks_;
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      const std::size_t off = b * block_dims_;
+      const std::size_t len = std::min(block_dims_, dims_ - off);
+      const auto x = row.subspan(off, len);
+      exps[b] = block_exp(x);
+      quantize_block_bfp(x, exps[b], codes + off);
+    }
+    return;
+  }
   float* scales = scales_.data() + r * blocks_;
   for (std::size_t b = 0; b < blocks_; ++b) {
     const std::size_t off = b * block_dims_;
@@ -69,6 +111,17 @@ QuantizedRowStore::QuantizedQuery QuantizedRowStore::quantize_query(
   const std::size_t blocks = dims == 0 ? 0 : (dims + bd - 1) / bd;
   QuantizedQuery out;
   out.codes.resize(dims);
+  if (cfg.bfp) {
+    out.exps.resize(blocks);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t off = b * bd;
+      const std::size_t len = std::min(bd, dims - off);
+      const auto x = q.subspan(off, len);
+      out.exps[b] = block_exp(x);
+      quantize_block_bfp(x, out.exps[b], out.codes.data() + off);
+    }
+    return out;
+  }
   out.scales.resize(blocks);
   for (std::size_t b = 0; b < blocks; ++b) {
     const std::size_t off = b * bd;
@@ -82,9 +135,30 @@ QuantizedRowStore::QuantizedQuery QuantizedRowStore::quantize_query(
 
 float QuantizedRowStore::score(std::size_t r,
                                const QuantizedQuery& q) const {
-  assert(r < rows_ && q.codes.size() == dims_ &&
-         q.scales.size() == blocks_);
+  assert(r < rows_ && q.codes.size() == dims_);
   const std::int8_t* codes = codes_.data() + r * dims_;
+  if (cfg_.bfp) {
+    assert(q.exps.size() == blocks_);
+    const std::int16_t* exps = exps_.data() + r * blocks_;
+    // One scan block at a time; a zero block on either side yields
+    // d == 0 (its codes are all zero), so the sentinel exponents never
+    // reach ldexp with a nonzero mantissa.
+    if (blocks_ == 1) {
+      const std::int32_t d = simd::dot_i8(codes, q.codes.data(), dims_);
+      return static_cast<float>(
+          std::ldexp(static_cast<double>(d), exps[0] + q.exps[0]));
+    }
+    double acc = 0.0;
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      const std::size_t off = b * block_dims_;
+      const std::size_t len = std::min(block_dims_, dims_ - off);
+      const std::int32_t d =
+          simd::dot_i8(codes + off, q.codes.data() + off, len);
+      if (d != 0) acc += std::ldexp(static_cast<double>(d), exps[b] + q.exps[b]);
+    }
+    return static_cast<float>(acc);
+  }
+  assert(q.scales.size() == blocks_);
   const float* scales = scales_.data() + r * blocks_;
   float acc = 0.0f;
   for (std::size_t b = 0; b < blocks_; ++b) {
@@ -101,6 +175,17 @@ void QuantizedRowStore::dequantize_row(std::size_t r,
                                        std::span<float> out) const {
   assert(r < rows_ && out.size() == dims_);
   const std::int8_t* codes = codes_.data() + r * dims_;
+  if (cfg_.bfp) {
+    const std::int16_t* exps = exps_.data() + r * blocks_;
+    for (std::size_t i = 0; i < dims_; ++i) {
+      const std::int16_t e = exps[i / block_dims_];
+      out[i] = e == kZeroExp
+                   ? 0.0f
+                   : static_cast<float>(
+                         std::ldexp(static_cast<double>(codes[i]), e));
+    }
+    return;
+  }
   const float* scales = scales_.data() + r * blocks_;
   for (std::size_t i = 0; i < dims_; ++i) {
     out[i] = static_cast<float>(codes[i]) * scales[i / block_dims_];

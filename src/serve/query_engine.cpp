@@ -141,13 +141,14 @@ QueryEngine::QueryEngine(std::shared_ptr<const Snapshot> snapshot,
   normalized_ = snap_->embedding;
   l2_normalize_rows(normalized_);
   if (cfg_.kind == IndexConfig::Kind::kIvf) build_ivf();
-  if (cfg_.quant == QuantMode::kInt8) {
+  if (cfg_.quant != QuantMode::kNone) {
     // IVF quantizes the packed (list-order) rows so a probed cell scans
     // one contiguous code stripe; brute force quantizes node order.
     const MatrixF& source =
         cfg_.kind == IndexConfig::Kind::kIvf ? packed_rows_ : normalized_;
     quant_ = QuantizedRowStore(source,
-                               {cfg_.quant_block, cfg_.quant_pow2});
+                               {cfg_.quant_block, cfg_.quant_pow2,
+                                cfg_.quant == QuantMode::kBfp});
   }
 }
 
@@ -228,7 +229,7 @@ std::vector<Neighbor> QueryEngine::topk(std::span<const float> query,
   }
 
   // Quantized scan is cosine-only; dot falls back to the float path.
-  if (cfg_.quant == QuantMode::kInt8 && sim == Similarity::kCosine &&
+  if (cfg_.quant != QuantMode::kNone && sim == Similarity::kCosine &&
       !quant_.empty()) {
     return topk_quant(q, k, exclude, nprobe_override);
   }

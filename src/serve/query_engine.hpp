@@ -129,8 +129,9 @@ struct IndexConfig {
   /// 0 = min(num_nodes, 64 * nlist).
   std::size_t kmeans_sample = 0;
   std::uint64_t seed = 1;
-  /// Opt-in int8 scan (cosine queries only; dot always takes the float
-  /// path): the exact/IVF scan scores int8-quantized rows, then the
+  /// Opt-in quantized scan (cosine queries only; dot always takes the
+  /// float path): the exact/IVF scan scores int8-quantized rows (kInt8:
+  /// float scales; kBfp: int16 shared exponents per block), then the
   /// best k * quant_rerank candidates are re-ranked with the float
   /// rows, holding recall@10 >= 0.95 vs. the float scan at a fraction
   /// of the scan bandwidth (serve/quantized_store.hpp).

@@ -42,11 +42,12 @@ class ShardedQueryEngine::Shard {
     if (cfg.kind == IndexConfig::Kind::kIvf && snap_->num_rows() > 0) {
       ivf_.build(normalized_, cfg);
     }
-    if (cfg.quant == QuantMode::kInt8 && snap_->num_rows() > 0) {
+    if (cfg.quant != QuantMode::kNone && snap_->num_rows() > 0) {
       // Shards quantize local node order (no packed re-order: shard IVF
       // lists index normalized_ directly).
       quant_ = QuantizedRowStore(normalized_,
-                                 {cfg.quant_block, cfg.quant_pow2});
+                                 {cfg.quant_block, cfg.quant_pow2,
+                                  cfg.quant == QuantMode::kBfp});
     }
   }
 
@@ -293,7 +294,7 @@ std::vector<Neighbor> ShardedQueryEngine::topk(
       cfg_.index.kind == IndexConfig::Kind::kIvf &&
       sim == Similarity::kCosine;
   const bool use_quant =
-      cfg_.index.quant == QuantMode::kInt8 && sim == Similarity::kCosine;
+      cfg_.index.quant != QuantMode::kNone && sim == Similarity::kCosine;
   const std::size_t nprobe =
       nprobe_override != 0 ? nprobe_override : cfg_.index.nprobe;
 
@@ -305,7 +306,8 @@ std::vector<Neighbor> ShardedQueryEngine::topk(
   QuantizedRowStore::QuantizedQuery qq;
   if (use_quant) {
     qq = QuantizedRowStore::quantize_query(
-        q, {cfg_.index.quant_block, cfg_.index.quant_pow2});
+        q, {cfg_.index.quant_block, cfg_.index.quant_pow2,
+            cfg_.index.quant == QuantMode::kBfp});
   }
   const auto scan_shard = [&](const Shard& shard, TopKAccumulator& top) {
     if (use_quant) {

@@ -121,6 +121,58 @@ TEST(Kernels, Rank1Update) {
   EXPECT_FLOAT_EQ(m(1, 1), 16.0f);
 }
 
+TEST(Kernels, FloatSpecializationsMatchPerRowSimdCallsExactly) {
+  // The float matvec/matvec_transposed/rank1_update specializations
+  // route through the fused SIMD kernels; their contract is bit
+  // identity with the per-row dot()/axpy() composition they replaced.
+  // Odd shape exercises every tail.
+  Rng rng(7);
+  MatrixF m(13, 37);
+  m.fill_uniform(rng, -1.0, 1.0);
+  std::vector<float> v13(13), v37(37);
+  for (auto& x : v13) x = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& x : v37) x = static_cast<float>(rng.uniform(-1, 1));
+
+  std::vector<float> out(13);
+  matvec(m, std::span<const float>(v37), std::span<float>(out));
+  for (std::size_t r = 0; r < 13; ++r) {
+    EXPECT_EQ(out[r], simd::dot(m.row(r).data(), v37.data(), 37)) << r;
+  }
+
+  std::vector<float> out_t(37);
+  matvec_transposed(m, std::span<const float>(v13), std::span<float>(out_t));
+  std::vector<float> ref_t(37, 0.0f);
+  for (std::size_t r = 0; r < 13; ++r) {
+    simd::axpy(v13[r], m.row(r).data(), ref_t.data(), 37);
+  }
+  for (std::size_t c = 0; c < 37; ++c) EXPECT_EQ(out_t[c], ref_t[c]) << c;
+
+  MatrixF got = m;
+  MatrixF ref = m;
+  rank1_update<float>(got, 0.75f, v13, v37);
+  for (std::size_t r = 0; r < 13; ++r) {
+    simd::axpy(0.75f * v13[r], v37.data(), ref.row(r).data(), 37);
+  }
+  for (std::size_t i = 0; i < got.flat().size(); ++i) {
+    EXPECT_EQ(got.flat()[i], ref.flat()[i]) << i;
+  }
+}
+
+TEST(Kernels, FloatMatvecParallelPathMatchesPerRowDot) {
+  // rows > 2048 takes the OpenMP row-parallel branch; each row is still
+  // one canonical dot() — identical for any thread count.
+  Rng rng(8);
+  MatrixF m(2100, 9);
+  m.fill_uniform(rng, -1.0, 1.0);
+  std::vector<float> v(9);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1, 1));
+  std::vector<float> out(2100);
+  matvec(m, std::span<const float>(v), std::span<float>(out));
+  for (std::size_t r = 0; r < 2100; ++r) {
+    EXPECT_EQ(out[r], simd::dot(m.row(r).data(), v.data(), 9)) << r;
+  }
+}
+
 TEST(Kernels, Norms) {
   std::vector<float> x = {3, 4};
   EXPECT_DOUBLE_EQ(l2_norm<float>(x), 5.0);
