@@ -37,6 +37,17 @@ double EmbeddingModel::train_batch(const WalkBatch& batch,
   return loss;
 }
 
+bool EmbeddingModel::untrain_batch(const WalkBatch& batch, std::size_t window,
+                                   const NegativeSampler& sampler,
+                                   std::size_t ns, NegativeMode mode) {
+  (void)batch;
+  (void)window;
+  (void)sampler;
+  (void)ns;
+  (void)mode;
+  return false;  // unsupported: callers re-train surviving neighborhoods
+}
+
 namespace {
 
 /// Shared per-walk dispatch of the batched adapters: walks with
@@ -130,6 +141,22 @@ class OselmAdapter final : public EmbeddingModel {
           return model_.train_walk(walk, window, sampler, ns, mode, rng);
         });
   }
+  bool untrain_batch(const WalkBatch& batch, std::size_t window,
+                     const NegativeSampler& /*sampler*/, std::size_t ns,
+                     NegativeMode mode) override {
+    // Reversible only when every walk's negatives are packed in the
+    // batch (kPerWalk pipeline packing) — rng-drawn negatives are not
+    // reconstructible once the sampler has been rebuilt.
+    if (ns > 0 && mode != NegativeMode::kPerWalk) return false;
+    for (std::size_t i = batch.num_walks(); i-- > 0;) {
+      if (batch.walk(i).empty()) continue;
+      if (ns > 0 && !batch.has_negatives(i)) return false;
+      if (!model_.untrain_walk(batch.walk(i), window, batch.negatives(i))) {
+        return false;
+      }
+    }
+    return true;
+  }
   [[nodiscard]] MatrixF extract_embedding() const override {
     return model_.extract_embedding();
   }
@@ -175,6 +202,20 @@ class DataflowAdapter final : public EmbeddingModel {
         [&](auto walk, Rng& rng) {
           return model_.train_walk(walk, window, sampler, ns, rng);
         });
+  }
+  bool untrain_batch(const WalkBatch& batch, std::size_t window,
+                     const NegativeSampler& /*sampler*/, std::size_t ns,
+                     NegativeMode /*mode*/) override {
+    // The dataflow algorithm only ever trains with shared per-walk
+    // negatives, so packed negatives are the only reversible shape.
+    for (std::size_t i = batch.num_walks(); i-- > 0;) {
+      if (batch.walk(i).empty()) continue;
+      if (ns > 0 && !batch.has_negatives(i)) return false;
+      if (!model_.untrain_walk(batch.walk(i), window, batch.negatives(i))) {
+        return false;
+      }
+    }
+    return true;
   }
   [[nodiscard]] MatrixF extract_embedding() const override {
     return model_.extract_embedding();

@@ -43,6 +43,23 @@ class EmbeddingModel {
                              const NegativeSampler& sampler, std::size_t ns,
                              NegativeMode mode);
 
+  /// Reverse the training of `batch`, walks last-to-first (the LIFO
+  /// order under which the OS-ELM covariance downdate is exact). Only
+  /// batches whose walks carry pre-packed negatives (kPerWalk packing)
+  /// are reversible — the sample stream is then reconstructible without
+  /// replaying the model's internal RNG draws. Returns true when the
+  /// whole batch was unlearned; false when the model does not support
+  /// unlearning (the default — notably the SGD baseline, whose
+  /// documented deletion path is approximate: re-train the surviving
+  /// neighborhoods instead), a walk lacks packed negatives, or a
+  /// conditioning guard fired mid-reversal. On false the model state
+  /// may be partially reversed (see OselmSkipGram::untrain_walk); the
+  /// caller must fall back to re-training the affected neighborhoods
+  /// either way, which also repairs any partial reversal.
+  virtual bool untrain_batch(const WalkBatch& batch, std::size_t window,
+                             const NegativeSampler& sampler, std::size_t ns,
+                             NegativeMode mode);
+
   /// The learned graph embedding, one row per node.
   [[nodiscard]] virtual MatrixF extract_embedding() const = 0;
 

@@ -137,6 +137,76 @@ double OselmSkipGramDataflow::train_walk(std::span<const NodeId> walk,
   return train_walk(walk, window, scratch_negatives_);
 }
 
+bool OselmSkipGramDataflow::untrain_walk(
+    std::span<const NodeId> walk, std::size_t window,
+    std::span<const NodeId> shared_negatives, double eps) {
+  if (window < 2 || walk.size() < window) return true;
+  const auto mu = static_cast<float>(opts_.mu);
+  const auto p0 = static_cast<float>(opts_.p0);
+  delta_p_.fill(0.0f);
+
+  bool ok = true;
+  for_each_context(walk, window, [&](const WalkContext& ctx) {
+    if (!ok) return;
+    // Mirror of the forward stages against the current state. In reset
+    // mode the covariance the walk trained against was exactly p0*I, so
+    // ph = hp = p0 * H in closed form — no P read at all.
+    auto bc = beta_t_.row(ctx.center);
+    for (std::size_t d = 0; d < dims(); ++d) h_[d] = mu * bc[d];
+    if (opts_.reset_p_per_walk) {
+      for (std::size_t d = 0; d < dims(); ++d) {
+        ph_[d] = p0 * h_[d];
+        hp_[d] = ph_[d];
+      }
+    } else {
+      simd::matvec_both(p_.data(), dims(), h_.data(), ph_.data(),
+                        hp_.data());
+    }
+    const double denom = 1.0 + dot<float>(h_, ph_);
+    if (!(denom > eps)) {
+      ok = false;
+      return;
+    }
+    const double k = 1.0 / denom;
+
+    // Negate the forward accumulations: +k (ph hp) into delta-P,
+    // -e * piht into the sparse beta delta.
+    rank1_update(delta_p_, static_cast<float>(k),
+                 std::span<const float>(ph_), std::span<const float>(hp_));
+    for (std::size_t d = 0; d < dims(); ++d) {
+      piht_[d] = static_cast<float>(k) * ph_[d];
+    }
+    auto untrain_sample = [&](NodeId s, float t) {
+      const double e =
+          static_cast<double>(t) - dot<float>(h_, beta_t_.row(s));
+      axpy<float>(static_cast<float>(-e), piht_, delta_beta_.row(s));
+    };
+    for (NodeId pos : ctx.positives) {
+      untrain_sample(pos, 1.0f);
+      for (NodeId neg : shared_negatives) {
+        if (neg == pos) continue;
+        untrain_sample(neg, 0.0f);
+      }
+    }
+  });
+
+  if (!ok) {
+    // Nothing was committed: discard the partial accumulators so the
+    // model is bit-identical to before the call.
+    delta_p_.fill(0.0f);
+    delta_beta_.clear();
+    return false;
+  }
+
+  if (!opts_.reset_p_per_walk) {
+    auto pf = p_.flat();
+    auto df = delta_p_.flat();
+    for (std::size_t i = 0; i < pf.size(); ++i) pf[i] += df[i];
+  }
+  delta_beta_.apply_to(beta_t_);
+  return true;
+}
+
 MatrixF OselmSkipGramDataflow::extract_embedding() const {
   MatrixF emb(num_nodes(), dims());
   const auto mu = static_cast<float>(opts_.mu);

@@ -57,6 +57,27 @@ class OselmSkipGramDataflow {
                     const NegativeSampler& sampler, std::size_t ns,
                     Rng& rng);
 
+  /// Reverse one train_walk: the frozen-state mirror of the forward
+  /// pass. Every context recomputes its correction against the
+  /// *current* beta/P (exactly how the forward pass computed it against
+  /// the then-frozen state) and accumulates the negated deltas; one
+  /// commit applies them. Because the forward algorithm froze state for
+  /// the whole walk, the recomputed corrections differ from the
+  /// original ones only by the walk's own committed delta — a
+  /// second-order O(mu^2) error — so this is an approximation (to
+  /// ~1e-4 at default mu), not the exact LIFO reversal OselmSkipGram
+  /// has. With reset_p_per_walk (default) ph = p0 * H is closed-form
+  /// and P is left untouched (the per-walk covariance is transient);
+  /// in persistent-P mode the accumulated delta-P is subtracted back.
+  ///
+  /// Returns false — with NO state modified (the deltas are discarded,
+  /// unlike the Alg-1 path) — when the conditioning guard fires
+  /// (1 + H P H^T <= eps for some context). Callers fall back to
+  /// re-training surviving neighborhoods.
+  bool untrain_walk(std::span<const NodeId> walk, std::size_t window,
+                    std::span<const NodeId> shared_negatives,
+                    double eps = 1e-6);
+
   [[nodiscard]] std::size_t num_nodes() const noexcept {
     return beta_t_.rows();
   }

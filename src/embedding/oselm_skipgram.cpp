@@ -188,6 +188,76 @@ double OselmSkipGram::train_walk(std::span<const NodeId> walk,
   return err;
 }
 
+bool OselmSkipGram::untrain_context(const WalkContext& ctx,
+                                    std::span<const NodeId> negatives,
+                                    double eps) {
+  if (!opts_.random_alpha) {
+    // Tied weights: H was mu * beta(center) *at training time*. If this
+    // context trained beta(center) through one of its own samples, the
+    // current row no longer encodes that H — unrecoverable, bail before
+    // touching anything.
+    for (NodeId pos : ctx.positives) {
+      if (pos == ctx.center) return false;
+    }
+    for (NodeId neg : negatives) {
+      if (neg == ctx.center) return false;
+    }
+  }
+  const std::size_t n_dims = dims();
+  hidden(ctx.center, h_);
+
+  // On the post-context P', ph = P' H^T equals the forward pass's ph2
+  // (the vector every beta update was scaled by), and
+  // d = 1 - H P' H^T = 1 / (1 + H P H^T) > 0 — so d tells us the
+  // forward gain exactly, and d <= eps means the restored P would not
+  // be positive-definite (the conditioning guard).
+  simd::matvec_both(p_.data(), n_dims, h_.data(), ph_.data(), hp_.data());
+  const double d = 1.0 - dot<float>(h_, ph_);
+  if (!(d > eps)) return false;
+  const double inv_d = 1.0 / d;
+
+  // Reverse of the forward sample order: groups last-to-first, each
+  // group's negatives (reversed) before its positive. The forward error
+  // e satisfies t - H.beta'(s) = e * d, so e recovers exactly.
+  auto untrain_sample = [&](NodeId s, float t) {
+    auto col = beta_t_.row(s);
+    const double e =
+        (static_cast<double>(t) - dot<float>(h_, col)) * inv_d;
+    axpy<float>(static_cast<float>(-e), ph_, col);
+  };
+  for (std::size_t g = ctx.positives.size(); g-- > 0;) {
+    const NodeId pos = ctx.positives[g];
+    for (std::size_t j = negatives.size(); j-- > 0;) {
+      if (negatives[j] == pos) continue;
+      untrain_sample(negatives[j], 0.0f);
+    }
+    untrain_sample(pos, 1.0f);
+  }
+
+  // Covariance downdate: P = P' + (P' H^T)(H P') / d restores the
+  // pre-context covariance (Sherman–Morrison run backwards).
+  rank1_update(p_, static_cast<float>(inv_d), std::span<const float>(ph_),
+               std::span<const float>(hp_));
+  return true;
+}
+
+bool OselmSkipGram::untrain_walk(std::span<const NodeId> walk,
+                                 std::size_t window,
+                                 std::span<const NodeId> shared_negatives,
+                                 double eps) {
+  if (window < 2 || walk.size() < window) return true;
+  // Contexts strictly last-to-first; each reversal restores the state
+  // its predecessor's reversal needs (the LIFO recursion). H is
+  // recomputed lazily per context from the partially reversed beta —
+  // exact, because by the time context i reverses, every later
+  // context's update to beta(center_i) has already been undone.
+  for (std::size_t i = walk.size() - window + 1; i-- > 0;) {
+    const WalkContext ctx{walk[i], walk.subspan(i + 1, window - 1)};
+    if (!untrain_context(ctx, shared_negatives, eps)) return false;
+  }
+  return true;
+}
+
 MatrixF OselmSkipGram::extract_embedding() const {
   MatrixF emb(num_nodes(), dims());
   const float scale =

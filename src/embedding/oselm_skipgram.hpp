@@ -82,6 +82,46 @@ class OselmSkipGram {
   double train_walk(std::span<const NodeId> walk, std::size_t window,
                     std::span<const NodeId> shared_negatives);
 
+  /// Reverse one train_walk(walk, window, shared_negatives): the RLS
+  /// recursion run backwards. Contexts are reversed last-to-first; each
+  /// undoes its beta updates in reverse sample order and then applies
+  /// the rank-1 covariance *downdate*
+  ///   d  = 1 - H P' H^T          (P' = covariance after the context;
+  ///                               equals 1 / (1 + H P H^T) exactly)
+  ///   e  = (t - H . beta'(s)) / d,  beta(s) = beta'(s) - e (P' H^T)
+  ///   P  = P' + (P' H^T)(H P') / d
+  /// which is the Sherman–Morrison inverse update inverted. When the
+  /// untrained walk is the most recently trained one (LIFO order —
+  /// what sliding-window expiry of the newest-first kind and the
+  /// unlearning tests exercise), this reproduces the pre-walk state to
+  /// float round-off; untraining older walks runs the same formulas as
+  /// an approximation of that walk's contribution against the current
+  /// state.
+  ///
+  /// Returns false — with the model left PARTIALLY reversed — when a
+  /// context cannot be inverted:
+  ///  * conditioning guard: d <= eps, i.e. the downdated P would lose
+  ///    positive-definiteness (numerically impossible under exact LIFO,
+  ///    the approximate regime's escape hatch);
+  ///  * tied-weights self-reference: the context's center appears among
+  ///    its own samples, so H = mu * beta(center) at training time is
+  ///    unrecoverable from the post-update state.
+  /// Callers must then fall back to re-training the walk's surviving
+  /// neighborhoods (StreamTrainer does exactly that).
+  ///
+  /// With reset_p_per_walk (the default) the covariance restored by a
+  /// full reversal is the transient p0*I, not the pre-walk P — beta is
+  /// still exactly reversed, which is all that state carries across
+  /// walks in that mode.
+  bool untrain_walk(std::span<const NodeId> walk, std::size_t window,
+                    std::span<const NodeId> shared_negatives,
+                    double eps = 1e-6);
+
+  /// One reversed context of untrain_walk (exposed for the unit tests'
+  /// guard probes). Same return contract.
+  bool untrain_context(const WalkContext& ctx,
+                       std::span<const NodeId> negatives, double eps = 1e-6);
+
   [[nodiscard]] std::size_t num_nodes() const noexcept {
     return beta_t_.rows();
   }

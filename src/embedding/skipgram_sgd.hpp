@@ -12,6 +12,14 @@
 //                              context's samples are processed)
 //   w_c -= lr * h_acc
 // The graph embedding is the input matrix W_in (Sec. 2.1).
+//
+// Deletion/unlearning: SGD has no closed-form reversal (unlike the
+// OS-ELM recursion, whose covariance downdate untrains exactly — see
+// OselmSkipGram::untrain_walk), so this model keeps the default
+// EmbeddingModel::untrain_batch (returns false) and the documented
+// *approximate* deletion path applies: on edge expiry the StreamTrainer
+// re-trains fresh walks from the deleted edge's surviving endpoints,
+// diluting the stale structure instead of subtracting it.
 
 #include <cstdint>
 #include <span>

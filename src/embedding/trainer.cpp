@@ -47,6 +47,31 @@ TrainMetrics& train_metrics() {
   return m;
 }
 
+/// Registry mirrors of the StreamStats deletion-side fields.
+struct DeletionMetrics {
+  obs::Counter* edges;
+  obs::Counter* unlearn_walks;
+  obs::Counter* fallback_retrains;
+  obs::Counter* tombstones;
+};
+
+DeletionMetrics& deletion_metrics() {
+  static DeletionMetrics m{
+      obs::Registry::global().counter("seqge_deletions_edges_total", {},
+                                      "Edges deleted or expired"),
+      obs::Registry::global().counter(
+          "seqge_deletions_unlearn_walks_total", {},
+          "Walks reversed exactly via covariance downdating"),
+      obs::Registry::global().counter(
+          "seqge_deletions_fallback_retrains_total", {},
+          "Deletions that fell back to approximate re-training"),
+      obs::Registry::global().counter(
+          "seqge_tombstones_total", {},
+          "Nodes tombstoned (isolated by deletions)"),
+  };
+  return m;
+}
+
 /// Routes cadence publications to the configured SnapshotSink, tracking
 /// the rows training may have touched since the last publication so the
 /// sink can be handed a delta (on_delta) instead of being forced to
@@ -474,6 +499,213 @@ SequentialResult train_sequential(EmbeddingModel& model,
     ++stats.snapshots_published;
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// StreamTrainer
+// ---------------------------------------------------------------------------
+
+StreamTrainer::StreamTrainer(EmbeddingModel& model, SlidingWindowGraph& graph,
+                             const StreamConfig& cfg, Rng& rng)
+    : model_(model),
+      graph_(graph),
+      cfg_(cfg),
+      rng_(rng.next()),
+      walker_(graph, cfg.train.walk),
+      dirty_(model.num_nodes()) {
+  cfg_.train.validate();
+  if (cfg_.retrain_walks_per_endpoint == 0) {
+    cfg_.retrain_walks_per_endpoint = 1;
+  }
+}
+
+std::uint64_t StreamTrainer::insert(NodeId u, NodeId v, float weight,
+                                    std::uint64_t stamp) {
+  const std::uint64_t token = graph_.add_edge(u, v, weight, stamp);
+  if (token == SlidingWindowGraph::kInvalidToken) return token;
+  ++stats_.edges_inserted;
+  // A re-inserted node is live again; its rows get republished by the
+  // training walks below (walk[0] is the endpoint itself).
+  dead_.erase(u);
+  dead_.erase(v);
+
+  const std::size_t window = cfg_.train.walk.window;
+  const std::size_t ns = cfg_.train.negative_samples;
+  const NegativeSampler& sampler = graph_.sampler();
+  WalkBatch batch;
+  {
+    OBS_SPAN("walk_gen");
+    for (NodeId endpoint : {u, v}) {
+      walker_.walk_into(rng_, endpoint, walk_scratch_);
+      // Always pack kPerWalk negatives: the recorded batch must carry
+      // its full sample stream to be reversible on eviction.
+      pack_walk(batch, walk_scratch_, rng_.next(), NegativeMode::kPerWalk,
+                ns, sampler, neg_scratch_);
+      ++stats_.walks_trained;
+      train_metrics().walks->add();
+      train_metrics().contexts->add(
+          num_contexts(walk_scratch_.size(), window));
+    }
+  }
+  {
+    OBS_SPAN("train_batch");
+    train_stats_.last_loss = model_.train_batch(
+        batch, window, sampler, ns, NegativeMode::kPerWalk);
+  }
+  ++train_stats_.num_batches;
+  train_metrics().batches->add();
+  note_dirty(batch);
+  records_[token] = Recorded{std::move(batch), ++mutation_seq_};
+  note_mutation();
+  return token;
+}
+
+bool StreamTrainer::remove(NodeId u, NodeId v) {
+  auto evicted = graph_.remove_edge(u, v);
+  if (!evicted) return false;
+  unlearn_edge(*evicted);
+  note_mutation();
+  return true;
+}
+
+std::size_t StreamTrainer::advance(std::uint64_t now) {
+  expired_scratch_.clear();
+  graph_.expire(now, expired_scratch_);
+  for (const ExpiredEdge& e : expired_scratch_) {
+    unlearn_edge(e);
+    note_mutation();
+  }
+  return expired_scratch_.size();
+}
+
+void StreamTrainer::unlearn_edge(const ExpiredEdge& e) {
+  ++stats_.edges_deleted;
+  deletion_metrics().edges->add();
+  const std::size_t window = cfg_.train.walk.window;
+  const std::size_t ns = cfg_.train.negative_samples;
+
+  bool unlearned = false;
+  ++mutation_seq_;
+  auto it = records_.find(e.token);
+  if (it != records_.end()) {
+    // Staleness guard: the downdate reverses the recorded residuals
+    // against the CURRENT weights, so its error grows with how far the
+    // touched rows drifted since training. Recent deletions (flapping
+    // links, immediate retractions) reverse near-exactly; one trained
+    // half a stream ago would inject more noise than it removes — skip
+    // the downdate and dilute via re-training instead.
+    const bool fresh_enough =
+        mutation_seq_ - it->second.trained_at <= cfg_.unlearn_staleness_limit;
+    if (fresh_enough) {
+      const WalkBatch& batch = it->second.batch;
+      // Every row the batch may touch needs republishing whether the
+      // reversal is exact, partial (guard fired mid-batch), or skipped.
+      note_dirty(batch);
+      {
+        OBS_SPAN("untrain_batch");
+        unlearned = model_.untrain_batch(batch, window, graph_.sampler(),
+                                         ns, NegativeMode::kPerWalk);
+      }
+      if (unlearned) {
+        stats_.walks_unlearned += batch.num_walks();
+        deletion_metrics().unlearn_walks->add(batch.num_walks());
+      }
+    }
+    records_.erase(it);
+  }
+
+  if (!unlearned) {
+    // Approximate path: the recorded batch is missing (pre-existing
+    // edge), the model cannot reverse (SGD), or a conditioning guard
+    // fired — re-train fresh walks from the surviving endpoints so the
+    // embedding reflects the post-deletion structure.
+    ++stats_.fallback_retrains;
+    deletion_metrics().fallback_retrains->add();
+    retrain_endpoints(e);
+  } else if (cfg_.refresh_after_unlearn) {
+    // Downdate + retrain: the reversal subtracted the deleted walks
+    // against the current weights (exact only for LIFO deletions);
+    // re-anchor the surviving neighborhoods so out-of-order deletion
+    // drift does not accumulate (StreamConfig::refresh_after_unlearn).
+    retrain_endpoints(e);
+  }
+
+  for (NodeId endpoint : {e.src, e.dst}) {
+    if (graph_.degree(endpoint) == 0 && dead_.insert(endpoint).second) {
+      ++stats_.nodes_tombstoned;
+      deletion_metrics().tombstones->add();
+    }
+  }
+}
+
+// Train cfg_.retrain_walks_per_endpoint fresh walks from each surviving
+// endpoint of a deleted edge. Not recorded: these walks belong to no
+// edge.
+void StreamTrainer::retrain_endpoints(const ExpiredEdge& e) {
+  const std::size_t window = cfg_.train.walk.window;
+  const std::size_t ns = cfg_.train.negative_samples;
+  const NegativeSampler& sampler = graph_.sampler();
+  WalkBatch batch;
+  for (NodeId endpoint : {e.src, e.dst}) {
+    if (graph_.degree(endpoint) == 0) continue;
+    for (std::size_t r = 0; r < cfg_.retrain_walks_per_endpoint; ++r) {
+      walker_.walk_into(rng_, endpoint, walk_scratch_);
+      pack_walk(batch, walk_scratch_, rng_.next(), NegativeMode::kPerWalk,
+                ns, sampler, neg_scratch_);
+      ++stats_.walks_trained;
+      train_metrics().walks->add();
+    }
+  }
+  if (!batch.empty()) {
+    train_stats_.last_loss = model_.train_batch(
+        batch, window, sampler, ns, NegativeMode::kPerWalk);
+    ++train_stats_.num_batches;
+    note_dirty(batch);
+  }
+}
+
+void StreamTrainer::note_dirty(const WalkBatch& batch) {
+  for (std::size_t i = 0; i < batch.num_walks(); ++i) {
+    dirty_.mark_all(batch.walk(i));
+    if (batch.has_negatives(i)) dirty_.mark_all(batch.negatives(i));
+  }
+}
+
+void StreamTrainer::note_mutation() {
+  if (cfg_.sink != nullptr && cfg_.publish_every != 0 &&
+      ++since_publish_ >= cfg_.publish_every) {
+    flush();
+  }
+}
+
+void StreamTrainer::flush() {
+  since_publish_ = 0;
+  if (cfg_.sink == nullptr) return;
+  OBS_SPAN("publish");
+
+  tombstone_scratch_.assign(dead_.begin(), dead_.end());
+  std::sort(tombstone_scratch_.begin(), tombstone_scratch_.end());
+
+  // Publish only surviving rows: dirty minus tombstoned. Dead rows are
+  // never copied — the deletion publish cost stays O(touched), and the
+  // tombstone pass itself copies nothing (copy-on-write bitmap swap in
+  // the sharded store).
+  const auto touched = dirty_.sorted();
+  touched_scratch_.clear();
+  std::set_difference(touched.begin(), touched.end(),
+                      tombstone_scratch_.begin(), tombstone_scratch_.end(),
+                      std::back_inserter(touched_scratch_));
+
+  train_stats_.num_walks = stats_.walks_trained;
+  cfg_.sink->on_delta(model_, train_stats_, touched_scratch_);
+  // Replace semantics: the complete current dead set, after the delta,
+  // so a full-snapshot fallback inside on_delta (which clears the
+  // store's bits) is immediately re-covered.
+  cfg_.sink->on_tombstone(tombstone_scratch_);
+  ++stats_.publishes;
+  ++train_stats_.snapshots_published;
+  train_metrics().snapshots_published->add();
+  dirty_.clear();
 }
 
 }  // namespace seqge

@@ -28,14 +28,20 @@
 #include <cstdint>
 #include <span>
 #include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "embedding/config.hpp"
 #include "embedding/model.hpp"
+#include "embedding/sparse_delta.hpp"
 #include "graph/dynamic_graph.hpp"
 #include "graph/generators.hpp"
+#include "graph/sliding_window.hpp"
 #include "graph/spanning_forest.hpp"
 #include "util/timer.hpp"
+#include "walk/node2vec_walker.hpp"
+#include "walk/walk_batch.hpp"
 
 namespace seqge {
 
@@ -89,6 +95,18 @@ struct SnapshotSink {
     (void)touched_rows;
     on_snapshot(model, stats);
   }
+
+  /// Tombstone variant (deletion workloads): `nodes` — ascending,
+  /// unique — is the COMPLETE set of nodes currently deleted from the
+  /// graph (replace semantics, not incremental): serving layers must
+  /// stop returning exactly these from top-k scans. The StreamTrainer
+  /// re-publishes the full set after every delta, so a node that was
+  /// deleted and later re-inserted simply drops out of the set (and its
+  /// row is republished by the accompanying delta). Always invoked
+  /// AFTER the same flush's on_delta/on_snapshot, under the same
+  /// serialized-call contract. Default no-op, so insert-only sinks are
+  /// unaffected.
+  virtual void on_tombstone(std::span<const NodeId> nodes) { (void)nodes; }
 };
 
 /// How the training pipeline is staffed and shaped. The default is the
@@ -172,5 +190,138 @@ struct SequentialResult {
 SequentialResult train_sequential(EmbeddingModel& model,
                                   const Graph& full_graph,
                                   const SequentialConfig& cfg, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Streaming trainer with deletions (the sliding-window IoT scenario).
+// ---------------------------------------------------------------------------
+
+struct StreamConfig {
+  TrainConfig train;
+  /// Non-owning; must outlive the trainer. Receives on_delta with the
+  /// touched-row set followed by on_tombstone with the complete set of
+  /// isolated (degree-0 after deletion) nodes at every flush().
+  SnapshotSink* sink = nullptr;
+  /// Auto-flush after this many graph mutations (insert/delete/expiry
+  /// events); 0 = flush only when flush() is called.
+  std::size_t publish_every = 0;
+  /// When an eviction cannot be unlearned exactly (the model returned
+  /// false from untrain_batch — SGD always, OS-ELM when its conditioning
+  /// guard fires), re-train this many fresh walks from each surviving
+  /// endpoint instead. This is the documented *approximate* deletion
+  /// path: stale structure is diluted, not subtracted.
+  std::size_t retrain_walks_per_endpoint = 1;
+  /// Also re-train the surviving endpoints after a *successful*
+  /// downdate ("downdate + retrain"). The downdate subtracts the
+  /// deleted walks' contribution against the CURRENT weights; unless
+  /// the deletion is last-in-first-out, the residual it removes differs
+  /// from the one training added by however much the touched rows have
+  /// drifted since. The refresh walks re-anchor the neighborhood to
+  /// surviving structure (see bench_dynamic's recall gate). Disable
+  /// for strict LIFO streams, where the downdate alone is exact.
+  bool refresh_after_unlearn = true;
+  /// Downdate staleness horizon, in stream mutations (inserts +
+  /// deletions) between an edge's training and its deletion. The
+  /// reversal's error is proportional to how far the touched rows have
+  /// drifted since training — near-zero for a recent ("flapping") edge,
+  /// embedding-wrecking for one trained half a stream ago (measured in
+  /// bench_dynamic: applying the downdate to uniformly stale deletions
+  /// caps neighbor recall at less than half the fresh baseline's).
+  /// Deletions older than this skip the downdate and take the fallback
+  /// re-train path.
+  std::size_t unlearn_staleness_limit = 256;
+};
+
+struct StreamStats {
+  std::size_t edges_inserted = 0;
+  std::size_t edges_deleted = 0;   ///< explicit removals + horizon expiries
+  std::size_t walks_trained = 0;   ///< insert walks + fallback re-trains
+  std::size_t walks_unlearned = 0; ///< walks reversed exactly via untrain
+  std::size_t fallback_retrains = 0;  ///< deletions that took the approximate path
+  std::size_t nodes_tombstoned = 0;   ///< nodes that became isolated (cumulative)
+  std::size_t publishes = 0;          ///< flush() calls that reached the sink
+};
+
+/// Drives an EmbeddingModel from a live edge stream over a
+/// SlidingWindowGraph: insertions train (two endpoint walks, exactly the
+/// "seq" scenario's update), deletions and horizon expiries *unlearn* —
+/// exactly via EmbeddingModel::untrain_batch when the model supports it
+/// (the recorded insertion batch, with its packed negatives, is replayed
+/// in reverse), approximately via surviving-neighborhood re-training
+/// otherwise. Nodes left with degree 0 are tombstoned: flush() publishes
+/// the surviving touched rows through SnapshotSink::on_delta (cost
+/// O(touched rows), never O(n)) and then the complete dead set through
+/// on_tombstone, so serving layers stop returning them.
+///
+/// Negatives are always packed per walk (NegativeMode::kPerWalk,
+/// regardless of cfg.train.negative_mode) — that is what makes the
+/// recorded batches reversible without replaying model-internal RNG.
+///
+/// Single-threaded, like the phase-2 insertion stream of
+/// train_sequential; determinism is keyed off one draw from the caller's
+/// Rng at construction.
+class StreamTrainer {
+ public:
+  /// `model` and `graph` are borrowed; both must outlive the trainer.
+  /// The graph may be pre-populated (its existing edges are treated as
+  /// already trained by the caller).
+  StreamTrainer(EmbeddingModel& model, SlidingWindowGraph& graph,
+                const StreamConfig& cfg, Rng& rng);
+
+  /// Insert (u, v) at `stamp`, walk from both endpoints, train, and
+  /// record the batch under the edge's token for later unlearning.
+  /// Returns the token, or SlidingWindowGraph::kInvalidToken when the
+  /// graph rejected the edge (duplicate / self-loop / out of range).
+  std::uint64_t insert(NodeId u, NodeId v, float weight = 1.0f,
+                       std::uint64_t stamp = 0);
+
+  /// Explicitly delete a live edge and unlearn it. Returns false when
+  /// the edge does not exist.
+  bool remove(NodeId u, NodeId v);
+
+  /// Advance the stream clock: evict every edge outside the window's
+  /// horizon as of `now` and unlearn each. Returns the eviction count.
+  std::size_t advance(std::uint64_t now);
+
+  /// Publish pending changes to cfg.sink: on_delta over the touched
+  /// live rows (dirty minus tombstoned — dead rows are never copied),
+  /// then on_tombstone with the complete current dead set. No-op
+  /// without a sink (the dirty set keeps accumulating).
+  void flush();
+
+  [[nodiscard]] const StreamStats& stats() const noexcept { return stats_; }
+  /// Nodes currently tombstoned (isolated by deletions), unsorted.
+  [[nodiscard]] const std::unordered_set<NodeId>& dead_nodes()
+      const noexcept {
+    return dead_;
+  }
+
+ private:
+  void unlearn_edge(const ExpiredEdge& e);
+  void retrain_endpoints(const ExpiredEdge& e);
+  void note_dirty(const WalkBatch& batch);
+  void note_mutation();
+
+  EmbeddingModel& model_;
+  SlidingWindowGraph& graph_;
+  StreamConfig cfg_;
+  Rng rng_;
+  Node2VecWalker<SlidingWindowGraph> walker_;
+  DirtyRowSet dirty_;
+  /// Training record of one live edge, kept until deletion: the exact
+  /// batch to reverse, and when it trained (staleness-guard input).
+  struct Recorded {
+    WalkBatch batch;
+    std::uint64_t trained_at = 0;  ///< mutation_seq_ at train time
+  };
+  std::unordered_map<std::uint64_t, Recorded> records_;  // token -> record
+  std::uint64_t mutation_seq_ = 0;
+  std::unordered_set<NodeId> dead_;
+  StreamStats stats_;
+  TrainStats train_stats_;
+  std::vector<NodeId> walk_scratch_, neg_scratch_;
+  std::vector<NodeId> tombstone_scratch_, touched_scratch_;
+  std::vector<ExpiredEdge> expired_scratch_;
+  std::size_t since_publish_ = 0;
+};
 
 }  // namespace seqge

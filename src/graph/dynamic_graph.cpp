@@ -52,6 +52,24 @@ bool DynamicGraph::add_edge(NodeId u, NodeId v, float weight) {
   return true;
 }
 
+void DynamicGraph::erase_arc(NodeId u, NodeId v) {
+  auto& nbrs = adjacency_[u];
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  const auto pos = static_cast<std::size_t>(it - nbrs.begin());
+  nbrs.erase(it);
+  weights_[u].erase(weights_[u].begin() +
+                    static_cast<std::ptrdiff_t>(pos));
+}
+
+bool DynamicGraph::remove_edge(NodeId u, NodeId v) {
+  if (u == v || u >= num_nodes() || v >= num_nodes()) return false;
+  if (!has_edge(u, v)) return false;
+  erase_arc(u, v);
+  erase_arc(v, u);
+  --num_edges_;
+  return true;
+}
+
 Graph DynamicGraph::to_graph() const {
   std::vector<Edge> edges;
   edges.reserve(num_edges_);

@@ -46,11 +46,16 @@ class DynamicGraph {
   /// already exists or u == v.
   bool add_edge(NodeId u, NodeId v, float weight = 1.0f);
 
+  /// Remove undirected edge (u, v). Returns false (no-op) when the edge
+  /// does not exist or u == v. O(deg), mirroring add_edge.
+  bool remove_edge(NodeId u, NodeId v);
+
   /// Snapshot to an immutable CSR graph.
   [[nodiscard]] Graph to_graph() const;
 
  private:
   void insert_arc(NodeId u, NodeId v, float w);
+  void erase_arc(NodeId u, NodeId v);
 
   std::vector<std::vector<NodeId>> adjacency_;
   std::vector<std::vector<float>> weights_;

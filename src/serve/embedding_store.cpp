@@ -47,6 +47,34 @@ void EmbeddingStore::on_snapshot(const EmbeddingModel& model,
   publish(model.extract_embedding(), stats.num_walks, model.name());
 }
 
+void EmbeddingStore::on_tombstone(std::span<const NodeId> nodes) {
+  const auto old = current();
+  if (old == nullptr) return;  // nothing served yet
+  auto snap = std::make_shared<Snapshot>();
+  snap->embedding = old->embedding;  // full copy — the N = 1 trade
+  snap->walks_trained = old->walks_trained;
+  snap->producer = old->producer;
+  if (!nodes.empty()) {
+    snap->dead.assign(old->num_nodes(), 0);
+    for (NodeId v : nodes) {
+      if (v >= snap->num_nodes()) {
+        throw std::invalid_argument(
+            "EmbeddingStore::on_tombstone: node out of range");
+      }
+      snap->dead[v] = 1;
+    }
+  }
+  std::uint64_t assigned = 0;
+  {
+    std::lock_guard lock(publish_mutex_);
+    assigned = version_.load(std::memory_order_relaxed) + 1;
+    snap->version = assigned;
+    head_.store(std::move(snap), std::memory_order_release);
+    version_.store(assigned, std::memory_order_release);
+  }
+  version_cv_.notify_all();
+}
+
 void EmbeddingStore::save(std::ostream& os) const {
   const auto snap = current();
   if (snap == nullptr) {

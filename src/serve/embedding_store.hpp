@@ -35,7 +35,9 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "embedding/trainer.hpp"
 #include "linalg/matrix.hpp"
@@ -50,12 +52,19 @@ struct Snapshot {
   MatrixF embedding;                ///< one row per node
   std::uint64_t walks_trained = 0;  ///< producer progress when captured
   std::string producer;             ///< model name, for observability
+  /// Tombstone bitmap: dead[r] != 0 marks a node deleted from the graph
+  /// — query engines must skip its row. Empty (the common, insert-only
+  /// case) means no tombstones; when non-empty its size is num_nodes().
+  std::vector<std::uint8_t> dead;
 
   [[nodiscard]] std::size_t num_nodes() const noexcept {
     return embedding.rows();
   }
   [[nodiscard]] std::size_t dims() const noexcept {
     return embedding.cols();
+  }
+  [[nodiscard]] bool tombstoned(std::size_t r) const noexcept {
+    return !dead.empty() && dead[r] != 0;
   }
 };
 
@@ -99,6 +108,14 @@ class EmbeddingStore final : public SnapshotSink {
   /// consumer thread at the configured cadence.
   void on_snapshot(const EmbeddingModel& model,
                    const TrainStats& stats) override;
+
+  /// Replace the tombstone set: `nodes` (ascending, unique, in range)
+  /// becomes the complete set of dead rows of the next version. This
+  /// store is full-copy-per-publish by design, so the tombstone publish
+  /// also copies the matrix (O(n) — the N = 1 trade; the sharded store
+  /// does it with a zero-copy bitmap swap). Ignored before the first
+  /// publish.
+  void on_tombstone(std::span<const NodeId> nodes) override;
 
   // --- checkpoint persistence ---------------------------------------------
   /// Write the current snapshot in the binary checkpoint format

@@ -171,12 +171,12 @@ std::vector<Neighbor> QueryEngine::scan_topk(
   TopKAccumulator top(k);
   if (candidates.empty()) {
     for (std::size_t r = 0; r < rows.rows(); ++r) {
-      if (r == exclude) continue;
+      if (r == exclude || snap_->tombstoned(r)) continue;
       top.offer(static_cast<NodeId>(r), dot<float>(rows.row(r), query));
     }
   } else {
     for (std::uint32_t r : candidates) {
-      if (r == exclude) continue;
+      if (r == exclude || snap_->tombstoned(r)) continue;
       top.offer(r, dot<float>(rows.row(r), query));
     }
   }
@@ -258,7 +258,7 @@ std::vector<Neighbor> QueryEngine::topk(std::span<const float> query,
         for (std::uint32_t i = ivf_.list_off[cell.node];
              i < ivf_.list_off[cell.node + 1]; ++i) {
           const std::uint32_t r = ivf_.list_nodes[i];
-          if (r == exclude) continue;
+          if (r == exclude || snap_->tombstoned(r)) continue;
           top.offer(r, dot<float>(packed_rows_.row(i), q));
         }
       }
@@ -298,13 +298,14 @@ std::vector<Neighbor> QueryEngine::topk_quant(
       quant_.scan_range(
           ivf_.list_off[cell.node], ivf_.list_off[cell.node + 1], qq,
           [&](std::size_t i, float s) {
-            if (ivf_.list_nodes[i] == exclude) return;
+            const std::uint32_t r = ivf_.list_nodes[i];
+            if (r == exclude || snap_->tombstoned(r)) return;
             approx.offer(static_cast<NodeId>(i), s);
           });
     }
   } else {
     quant_.scan(qq, [&](std::size_t r, float s) {
-      if (r == exclude) return;
+      if (r == exclude || snap_->tombstoned(r)) return;
       approx.offer(static_cast<NodeId>(r), s);
     });
   }

@@ -119,13 +119,13 @@ class ShardedQueryEngine::Shard {
     if (sim == Similarity::kCosine) {
       for (std::size_t r = 0; r < normalized_.rows(); ++r) {
         const NodeId node = begin + static_cast<NodeId>(r);
-        if (node == exclude_global) continue;
+        if (node == exclude_global || snap_->tombstoned(r)) continue;
         top.offer(node, dot<float>(normalized_.row(r), q));
       }
     } else {
       for (std::size_t r = 0; r < num_rows(); ++r) {
         const NodeId node = begin + static_cast<NodeId>(r);
-        if (node == exclude_global) continue;
+        if (node == exclude_global || snap_->tombstoned(r)) continue;
         top.offer(node, dot<float>(snap_->row(r), q));
       }
     }
@@ -151,7 +151,7 @@ class ShardedQueryEngine::Shard {
            i < ivf_.list_off[cell.node + 1]; ++i) {
         const std::uint32_t r = ivf_.list_nodes[i];
         const NodeId node = begin + static_cast<NodeId>(r);
-        if (node == exclude_global) continue;
+        if (node == exclude_global || snap_->tombstoned(r)) continue;
         top.offer(node, dot<float>(normalized_.row(r), unit_q));
       }
     }
@@ -171,7 +171,7 @@ class ShardedQueryEngine::Shard {
     const NodeId begin = snap_->row_begin;
     quant_.scan(qq, [&](std::size_t r, float s) {
       const NodeId node = begin + static_cast<NodeId>(r);
-      if (node == exclude_global) return;
+      if (node == exclude_global || snap_->tombstoned(r)) return;
       top.offer(node, s);
     });
   }
@@ -198,7 +198,7 @@ class ShardedQueryEngine::Shard {
            i < ivf_.list_off[cell.node + 1]; ++i) {
         const std::uint32_t r = ivf_.list_nodes[i];
         const NodeId node = begin + static_cast<NodeId>(r);
-        if (node == exclude_global) continue;
+        if (node == exclude_global || snap_->tombstoned(r)) continue;
         top.offer(node, quant_.score(r, qq));
       }
     }

@@ -22,6 +22,7 @@ struct StoreMetrics {
   obs::Counter* delta_publishes;
   obs::Counter* shards_swapped;
   obs::Gauge* delta_chain_depth;
+  obs::Gauge* tombstoned_rows;
 };
 
 StoreMetrics& store_metrics() {
@@ -39,6 +40,9 @@ StoreMetrics& store_metrics() {
       obs::Registry::global().gauge(
           "seqge_store_delta_chain_depth", {},
           "Delta-chain depth of the most recently swapped shard"),
+      obs::Registry::global().gauge(
+          "seqge_store_tombstoned_rows", {},
+          "Rows currently tombstoned (hidden from scans)"),
   };
   return m;
 }
@@ -72,6 +76,11 @@ void ShardedEmbeddingStore::rebase_all(std::shared_ptr<const MatrixF> base,
     store_metrics().shards_swapped->add();
   }
   store_metrics().delta_chain_depth->set(0);
+  // A full rebase serves every row again (fresh snapshots carry no
+  // bitmap). Producers with live deletions republish the dead set right
+  // after — see publish_tombstones' replace semantics.
+  tombstoned_rows_.store(0, std::memory_order_relaxed);
+  store_metrics().tombstoned_rows->set(0);
 }
 
 std::uint64_t ShardedEmbeddingStore::publish(MatrixF embedding,
@@ -143,7 +152,31 @@ std::shared_ptr<ShardSnapshot> ShardedEmbeddingStore::compact_shard(
     snap->row_ptr[r] = packed->row(r).data();
   }
   snap->buffers = {std::move(packed)};
+  snap->dead = old_snap.dead;  // compaction repacks rows, not visibility
+  revive_rows(*snap, local_touched);
   return snap;
+}
+
+void ShardedEmbeddingStore::revive_rows(
+    ShardSnapshot& snap, std::span<const std::uint32_t> local_touched) {
+  if (snap.dead.empty()) return;
+  std::uint64_t revived = 0;
+  for (std::uint32_t l : local_touched) {
+    if (snap.dead[l] != 0) {
+      snap.dead[l] = 0;
+      ++revived;
+    }
+  }
+  if (revived != 0) {
+    const auto now =
+        tombstoned_rows_.fetch_sub(revived, std::memory_order_relaxed) -
+        revived;
+    store_metrics().tombstoned_rows->set(static_cast<std::int64_t>(now));
+  }
+  if (std::all_of(snap.dead.begin(), snap.dead.end(),
+                  [](std::uint8_t b) { return b == 0; })) {
+    snap.dead.clear();  // back to the cheap "no tombstones" shape
+  }
 }
 
 std::uint64_t ShardedEmbeddingStore::publish_delta(
@@ -242,6 +275,8 @@ std::uint64_t ShardedEmbeddingStore::publish_delta(
           snap->buffers.push_back(delta);
           snap->changed_since_base = std::move(merged);
           snap->delta_rows_since_base = appended;
+          snap->dead = old_snap->dead;
+          revive_rows(*snap, local);
         }
         const std::int64_t chain_depth =
             static_cast<std::int64_t>(snap->delta_chain());
@@ -254,6 +289,63 @@ std::uint64_t ShardedEmbeddingStore::publish_delta(
     }
     walks_trained_.store(walks_trained, std::memory_order_release);
     producer_ = std::move(producer);
+    version_.store(assigned, std::memory_order_release);
+  }
+  version_cv_.notify_all();
+  return assigned;
+}
+
+std::uint64_t ShardedEmbeddingStore::publish_tombstones(
+    std::span<const NodeId> nodes, std::string producer) {
+  std::uint64_t assigned = 0;
+  {
+    std::lock_guard lock(publish_mutex_);
+    if (layout_.num_rows == 0) {
+      throw std::logic_error(
+          "ShardedEmbeddingStore::publish_tombstones: no base published "
+          "yet");
+    }
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] >= layout_.num_rows ||
+          (i > 0 && nodes[i] <= nodes[i - 1])) {
+        throw std::invalid_argument(
+            "ShardedEmbeddingStore::publish_tombstones: nodes must be "
+            "strictly ascending and in range");
+      }
+    }
+    assigned = version_.load(std::memory_order_relaxed) + 1;
+
+    std::uint64_t total_dead = 0;
+    std::size_t i = 0;  // cursor into `nodes` (ascending)
+    for (std::size_t s = 0; s < cfg_.num_shards; ++s) {
+      const auto begin = static_cast<NodeId>(layout_.begin(s));
+      const auto end = static_cast<NodeId>(begin + layout_.rows(s));
+      // This shard's new bitmap from the nodes in [begin, end).
+      std::vector<std::uint8_t> dead;
+      while (i < nodes.size() && nodes[i] < end) {
+        if (dead.empty()) dead.resize(layout_.rows(s), 0);
+        dead[nodes[i] - begin] = 1;
+        ++total_dead;
+        ++i;
+      }
+      const auto old_snap = heads_[s].load(std::memory_order_relaxed);
+      // Replace semantics: empty-to-empty is a no-op; otherwise clone
+      // the snapshot with only the bitmap swapped — zero rows copied,
+      // base_version preserved, so incremental index refresh sees no
+      // row changes.
+      if (dead.empty() && old_snap->dead.empty()) continue;
+      if (dead == old_snap->dead) continue;
+      auto snap = std::make_shared<ShardSnapshot>(*old_snap);
+      snap->version = assigned;
+      snap->dead = std::move(dead);
+      heads_[s].store(std::move(snap), std::memory_order_release);
+      shards_swapped_.fetch_add(1, std::memory_order_relaxed);
+      store_metrics().shards_swapped->add();
+    }
+    tombstoned_rows_.store(total_dead, std::memory_order_relaxed);
+    store_metrics().tombstoned_rows->set(
+        static_cast<std::int64_t>(total_dead));
+    if (!producer.empty()) producer_ = std::move(producer);
     version_.store(assigned, std::memory_order_release);
   }
   version_cv_.notify_all();
@@ -285,6 +377,11 @@ void ShardedEmbeddingStore::on_delta(const EmbeddingModel& model,
   model.extract_rows(touched_rows, rows);
   publish_delta(touched_rows, std::move(rows), stats.num_walks,
                 model.name());
+}
+
+void ShardedEmbeddingStore::on_tombstone(std::span<const NodeId> nodes) {
+  if (version() == 0) return;  // empty store serves nothing anyway
+  publish_tombstones(nodes);
 }
 
 std::vector<std::shared_ptr<const ShardSnapshot>>

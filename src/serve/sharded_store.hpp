@@ -113,11 +113,21 @@ struct ShardSnapshot {
   /// maintenance (ShardedQueryEngine) diffs against.
   std::vector<std::uint32_t> changed_since_base;
 
+  /// Tombstone bitmap: dead[local] != 0 marks a row whose node was
+  /// deleted from the graph — query engines must skip it. Empty (the
+  /// common, insert-only case) means no tombstones; when non-empty its
+  /// size is num_rows(). Row data stays in place (and in checkpoints):
+  /// only visibility changes, so a later revive is again a bitmap flip.
+  std::vector<std::uint8_t> dead;
+
   [[nodiscard]] std::size_t num_rows() const noexcept {
     return row_ptr.size();
   }
   [[nodiscard]] std::span<const float> row(std::size_t local) const noexcept {
     return {row_ptr[local], dims};
+  }
+  [[nodiscard]] bool tombstoned(std::size_t local) const noexcept {
+    return !dead.empty() && dead[local] != 0;
   }
   /// Delta buffers stacked on the base (compaction trigger input).
   [[nodiscard]] std::size_t delta_chain() const noexcept {
@@ -169,6 +179,21 @@ class ShardedEmbeddingStore final : public SnapshotSink {
                               std::uint64_t walks_trained = 0,
                               std::string producer = {});
 
+  /// Tombstone publish (replace semantics): `nodes` — strictly
+  /// ascending, unique, in range — becomes the complete set of dead
+  /// rows; every other row is (re)served. Copies ZERO embedding rows:
+  /// each affected shard's snapshot is cloned with only its `dead`
+  /// bitmap replaced (row pointers, buffers, overlay, and base_version
+  /// are shared/carried), so readers pick up visibility at the next
+  /// head load and incremental index refresh sees no row changes.
+  /// Shards whose bitmap is unchanged-empty are not swapped. A delta
+  /// publish revives any touched row (clears its bit); a full publish
+  /// clears every bit — producers with live deletions must republish
+  /// the dead set after full publishes (the StreamTrainer does, every
+  /// flush). Throws std::logic_error before the first full publish.
+  std::uint64_t publish_tombstones(std::span<const NodeId> nodes,
+                                   std::string producer = {});
+
   // --- SnapshotSink -------------------------------------------------------
   /// Full republish via model.extract_embedding().
   void on_snapshot(const EmbeddingModel& model,
@@ -179,6 +204,9 @@ class ShardedEmbeddingStore final : public SnapshotSink {
   /// full rebase is cheaper and resets every shard's overlay).
   void on_delta(const EmbeddingModel& model, const TrainStats& stats,
                 std::span<const NodeId> touched_rows) override;
+  /// publish_tombstones(nodes); ignored before the first publish (an
+  /// empty store serves nothing anyway).
+  void on_tombstone(std::span<const NodeId> nodes) override;
 
   // --- reads (lock-free) --------------------------------------------------
   [[nodiscard]] std::size_t num_shards() const noexcept {
@@ -245,6 +273,11 @@ class ShardedEmbeddingStore final : public SnapshotSink {
   [[nodiscard]] std::uint64_t delta_publishes() const noexcept {
     return delta_publishes_.load(std::memory_order_relaxed);
   }
+  /// Rows currently tombstoned across all shards (after the latest
+  /// tombstone/delta/full publish).
+  [[nodiscard]] std::uint64_t tombstoned_rows() const noexcept {
+    return tombstoned_rows_.load(std::memory_order_relaxed);
+  }
 
   // --- checkpoint persistence ---------------------------------------------
   /// Contiguous copy of the current per-shard heads. Intended for
@@ -270,6 +303,10 @@ class ShardedEmbeddingStore final : public SnapshotSink {
       const ShardSnapshot& old_snap, std::uint64_t version,
       std::span<const std::uint32_t> local_touched, const MatrixF& rows,
       std::size_t rows_offset);
+  /// Clear the dead bits of republished rows (a delta to a tombstoned
+  /// row revives it) and keep the global tombstone count in sync.
+  void revive_rows(ShardSnapshot& snap,
+                   std::span<const std::uint32_t> local_touched);
 
   Config cfg_;
   ShardLayout layout_;  // written once under publish_mutex_ (first publish)
@@ -284,6 +321,7 @@ class ShardedEmbeddingStore final : public SnapshotSink {
   std::atomic<std::uint64_t> compactions_{0};
   std::atomic<std::uint64_t> full_publishes_{0};
   std::atomic<std::uint64_t> delta_publishes_{0};
+  std::atomic<std::uint64_t> tombstoned_rows_{0};
 
   // Serializes publishers and backs wait_for_version; readers never
   // take this mutex.

@@ -12,7 +12,9 @@
 #include "embedding/oselm_skipgram.hpp"
 #include "fpga/hls_core.hpp"
 #include "graph/generators.hpp"
+#include "graph/sliding_window.hpp"
 #include "linalg/kernels.hpp"
+#include "sampling/negative_sampler.hpp"
 #include "util/rng.hpp"
 #include "walk/corpus.hpp"
 #include "walk/node2vec_walker.hpp"
@@ -240,6 +242,117 @@ TEST_P(CorpusShapeTest, Bookkeeping) {
 INSTANTIATE_TEST_SUITE_P(Shapes, CorpusShapeTest,
                          ::testing::Combine(::testing::Values(1, 3),
                                             ::testing::Values(2, 10, 40)));
+
+// ---------------------------------------------------------------------
+// Sliding-window interleaving sweep: after any random interleaving of
+// insert / remove / expire, the incrementally maintained structures
+// (adjacency, degree table, alias sampler) must be indistinguishable
+// from ones built fresh from the surviving edge set.
+class WindowInterleavingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowInterleavingTest, MatchesFreshlyBuiltGraph) {
+  constexpr std::size_t kN = 20;
+  SlidingWindowGraph::Options opts;
+  opts.max_age = 30;
+  opts.max_edges = 40;
+  opts.sampler_rebuild_interval = 7;  // force frequent lazy rebuilds
+  SlidingWindowGraph win(kN, opts);
+
+  // Reference: the live edge set, in insertion (== stamp) order.
+  struct RefEdge {
+    NodeId u, v;
+    float w;
+    std::uint64_t stamp;
+  };
+  std::vector<RefEdge> live;
+  auto ref_find = [&](NodeId u, NodeId v) {
+    return std::find_if(live.begin(), live.end(), [&](const RefEdge& e) {
+      return (e.u == u && e.v == v) || (e.u == v && e.v == u);
+    });
+  };
+
+  Rng rng(600 + static_cast<std::uint64_t>(GetParam()));
+  std::uint64_t clock = 0;
+  std::vector<ExpiredEdge> evicted;
+  for (int op = 0; op < 400; ++op) {
+    const std::uint64_t roll = rng.bounded(10);
+    if (roll < 6) {  // insert
+      const auto u = static_cast<NodeId>(rng.bounded(kN));
+      const auto v = static_cast<NodeId>(rng.bounded(kN));
+      const float w = 1.0f + 0.25f * static_cast<float>(rng.bounded(4));
+      const std::uint64_t token = win.add_edge(u, v, w, clock);
+      if (u == v || ref_find(u, v) != live.end()) {
+        EXPECT_EQ(token, SlidingWindowGraph::kInvalidToken);
+      } else {
+        ASSERT_NE(token, SlidingWindowGraph::kInvalidToken);
+        live.push_back({u, v, w, clock});
+      }
+    } else if (roll < 8) {  // remove a random pair, live or not
+      const auto u = static_cast<NodeId>(rng.bounded(kN));
+      const auto v = static_cast<NodeId>(rng.bounded(kN));
+      const auto it = ref_find(u, v);
+      const auto removed = win.remove_edge(u, v);
+      ASSERT_EQ(removed.has_value(), it != live.end());
+      if (it != live.end()) {
+        EXPECT_EQ(removed->stamp, it->stamp);
+        live.erase(it);
+      }
+    } else {  // advance the clock and expire
+      clock += rng.bounded(8);
+      evicted.clear();
+      const std::size_t n = win.expire(clock, evicted);
+      EXPECT_EQ(n, evicted.size());
+      // Mirror the age horizon…
+      if (clock > opts.max_age) {
+        const std::uint64_t cutoff = clock - opts.max_age;
+        std::erase_if(live, [&](const RefEdge& e) { return e.stamp < cutoff; });
+      }
+      // …and the capacity horizon (oldest-first).
+      while (live.size() > opts.max_edges) live.erase(live.begin());
+    }
+    clock += rng.bounded(2);
+  }
+
+  // Fresh rebuild from the surviving edges.
+  DynamicGraph fresh(kN);
+  for (const RefEdge& e : live) {
+    ASSERT_TRUE(fresh.add_edge(e.u, e.v, e.w));
+  }
+
+  ASSERT_EQ(win.num_edges(), fresh.num_edges());
+  std::vector<std::uint64_t> fresh_counts(kN);
+  for (NodeId u = 0; u < kN; ++u) {
+    ASSERT_EQ(win.degree(u), fresh.degree(u)) << "node " << u;
+    EXPECT_NEAR(win.weighted_degree(u), fresh.weighted_degree(u), 1e-6);
+    fresh_counts[u] = fresh.degree(u);
+    // Same neighbor sets with the same weights (order may differ).
+    auto wn = win.neighbors(u);
+    std::vector<NodeId> a(wn.begin(), wn.end());
+    auto fn = fresh.neighbors(u);
+    std::vector<NodeId> b(fn.begin(), fn.end());
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "node " << u;
+    for (NodeId v : a) {
+      EXPECT_EQ(win.edge_weight(u, v), fresh.edge_weight(u, v));
+    }
+  }
+
+  // The degree table feeding the sampler is exact…
+  EXPECT_EQ(win.degree_counts(), fresh_counts);
+  // …and the alias table built from it is the one a fresh build gives:
+  // construction is deterministic from counts, so equal-seed draws
+  // must agree exactly.
+  const NegativeSampler& ws = win.refresh_sampler();
+  const NegativeSampler fs(fresh_counts);
+  Rng ra(777), rb(777);
+  for (int i = 0; i < 512; ++i) {
+    ASSERT_EQ(ws.sample(ra), fs.sample(rb)) << "draw " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowInterleavingTest,
+                         ::testing::Range(0, 6));
 
 }  // namespace
 }  // namespace seqge

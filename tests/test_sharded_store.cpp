@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "embedding/backend_registry.hpp"
+#include "embedding/sparse_delta.hpp"
 #include "embedding/trainer.hpp"
 #include "graph/generators.hpp"
 #include "linalg/kernels.hpp"
@@ -695,6 +696,77 @@ TEST(ShardedEmbeddingStore, CheckpointRoundTripsThroughUnshardedStore) {
   ShardedEmbeddingStore restored(5);
   EXPECT_EQ(restored.load(back), 1u);
   EXPECT_DOUBLE_EQ(max_abs_diff(restored.materialize(), expected), 0.0);
+}
+
+// --- dirty-row accounting --------------------------------------------------
+
+// Pins the publish-cost invariant the StreamTrainer and train_sequential
+// both rely on: a row touched by several passes of one insertion — as a
+// walk node in the positive pass AND as a shared negative in the
+// negative pass — is marked ONCE. mark() dedupes via the stamp array,
+// so sorted().size() (and therefore rows_copied growth at the next
+// delta publish) counts unique rows, never marks.
+TEST(DirtyRowSet, RowTouchedByBothPassesCountsOnce) {
+  DirtyRowSet dirty(32);
+  // Positive pass: the walk's nodes.
+  const std::vector<NodeId> walk = {4, 7, 9, 4, 12};
+  dirty.mark_all(walk);
+  // Negative pass: shared negatives overlapping the walk (7, 12).
+  const std::vector<NodeId> negs = {7, 12, 20};
+  dirty.mark_all(negs);
+  EXPECT_EQ(dirty.size(), 5u);  // {4, 7, 9, 12, 20}, nothing twice
+  const auto rows = dirty.sorted();
+  const std::vector<NodeId> expected = {4, 7, 9, 12, 20};
+  EXPECT_EQ(std::vector<NodeId>(rows.begin(), rows.end()), expected);
+
+  // The deduped set drives the copy accounting end to end: a delta
+  // publish of these rows copies exactly size() rows.
+  ShardedEmbeddingStore store(
+      ShardedEmbeddingStore::Config{2, 1u << 20, 1.0, 0.0});
+  store.publish(random_matrix(32, 4, 21));
+  const auto base = store.rows_copied();
+  store.publish_delta(rows, delta_rows(rows.size(), 4, 1.5f));
+  EXPECT_EQ(store.rows_copied() - base, rows.size());
+
+  // clear() resets the stamps: the same rows can be re-marked next
+  // epoch without leaking marks across publishes.
+  dirty.clear();
+  EXPECT_TRUE(dirty.empty());
+  dirty.mark(7);
+  EXPECT_EQ(dirty.size(), 1u);
+}
+
+// --- tombstones x compaction -----------------------------------------------
+
+TEST(ShardedEmbeddingStore, TombstonesSurviveCompactionAndReviveOnDelta) {
+  // max_delta_chain == 2 forces compactions quickly.
+  ShardedEmbeddingStore store(ShardedEmbeddingStore::Config{2, 2, 1.0});
+  store.publish(random_matrix(8, 2, 31));
+  const std::vector<NodeId> dead = {1, 6};
+  store.publish_tombstones(dead);
+  EXPECT_EQ(store.tombstoned_rows(), 2u);
+
+  // Hammer one shard until it compacts; rows 0/2 never touch the dead
+  // rows, so both tombstones must be carried through the repack.
+  for (std::size_t k = 0; k < 6; ++k) {
+    const std::vector<NodeId> touched = {static_cast<NodeId>((k % 2) * 2)};
+    store.publish_delta(touched, delta_rows(1, 2, static_cast<float>(k)));
+  }
+  EXPECT_GT(store.compactions(), 0u);
+  EXPECT_EQ(store.tombstoned_rows(), 2u);
+  auto tombstoned = [&](NodeId row) {
+    const auto snap = store.shard(store.layout().shard_of(row));
+    return snap->tombstoned(row - snap->row_begin);
+  };
+  EXPECT_TRUE(tombstoned(1));
+
+  // Republishing a dead row revives it — including through the
+  // compaction path.
+  const std::vector<NodeId> touch_dead = {1};
+  store.publish_delta(touch_dead, delta_rows(1, 2, 9.0f));
+  EXPECT_EQ(store.tombstoned_rows(), 1u);
+  EXPECT_FALSE(tombstoned(1));
+  EXPECT_TRUE(tombstoned(6));
 }
 
 }  // namespace
